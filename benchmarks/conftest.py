@@ -1,0 +1,60 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (figure or table), asserts its
+qualitative shape, and writes the rendered table/chart to
+``benchmarks/results/<id>.txt`` so the regenerated artifacts live alongside
+the timings.  EXPERIMENTS.md records the paper-vs-measured comparison.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_JOBS``  — trace length (default 12000; the paper's trace is
+  122055 and takes a few minutes end to end),
+* ``REPRO_BENCH_FULL=1`` — shorthand for the full paper-scale run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_n_jobs() -> int:
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return 122_055
+    return int(os.environ.get("REPRO_BENCH_JOBS", "12000"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(n_jobs=bench_n_jobs())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_artifact(results_dir):
+    """Write a regenerated figure/table to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer.
+
+    These are end-to-end simulation experiments (seconds to minutes), not
+    micro-benchmarks; repetition would multiply runtime for no insight.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""EXT bench: the §2.1 false-positive study.
+
+Checks the paper's qualitative claim: implicit feedback degrades under
+spurious failures (the estimator backs off after crashes that had nothing
+to do with resources), while the explicit guard — comparing granted capacity
+with actual usage — filters them out and retains (more of) the benefit.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.experiments import falsepositives
+
+
+def test_false_positive_sensitivity(benchmark, bench_config, save_artifact):
+    cfg = dataclasses.replace(bench_config, n_jobs=min(bench_config.n_jobs, 10_000))
+    result = run_once(benchmark, lambda: falsepositives.run(cfg))
+    save_artifact(
+        "falsepositives", result.format_table() + "\n\n" + result.format_chart()
+    )
+
+    # With no noise, both estimation variants beat the baseline clearly.
+    def util_at(variant, prob):
+        return next(
+            p.utilization
+            for p in result.points
+            if p.variant == variant and p.spurious_prob == prob
+        )
+
+    assert util_at("implicit", 0.0) > util_at("no-estimation", 0.0) * 1.2
+    assert util_at("explicit-guard", 0.0) > util_at("no-estimation", 0.0) * 1.2
+
+    # Under heavy noise the guard retains at least as much utilization as
+    # the confused implicit variant.
+    assert util_at("explicit-guard", 0.10) >= util_at("implicit", 0.10) * 0.98
+
+    # And the guard's *estimation activity* (reduced submissions) survives
+    # noise better than the implicit variant's.
+    def reduced_at(variant, prob):
+        return next(
+            p.frac_reduced
+            for p in result.points
+            if p.variant == variant and p.spurious_prob == prob
+        )
+
+    assert reduced_at("explicit-guard", 0.10) >= reduced_at("implicit", 0.10)

@@ -1,0 +1,20 @@
+"""FIG1 bench: regenerate Figure 1 (over-provisioning histogram + fit).
+
+Paper claims checked: ~32.8% of jobs at ratio >= 2; mismatch reaching two
+orders of magnitude; straight-line fit of the log histogram (paper R^2 0.69).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig1
+
+
+def test_fig1_overprovisioning(benchmark, bench_config, save_artifact):
+    result = run_once(benchmark, lambda: fig1.run(bench_config))
+    save_artifact("fig1", result.format_table() + "\n\n" + result.format_chart())
+
+    assert result.stats.frac_ratio_ge_2 == abs(result.stats.frac_ratio_ge_2)
+    assert 0.25 <= result.stats.frac_ratio_ge_2 <= 0.42  # paper: 0.328
+    assert result.stats.max_ratio >= 50.0  # two orders of magnitude
+    assert result.stats.fit.slope < 0
+    assert result.stats.fit.r_squared >= 0.5  # paper: 0.69

@@ -1,0 +1,24 @@
+"""FIG3 bench: regenerate Figure 3 (similarity-group size distribution).
+
+Paper claims checked: many disjoint groups under the (user, app, req-mem)
+key (9885 on the full trace), 19.4% of groups holding >= 10 jobs, those
+groups covering 83% of all jobs.
+"""
+
+from conftest import bench_n_jobs, run_once
+
+from repro.experiments import fig3
+from repro.workload.lanl_cm5 import LANL_CM5
+
+
+def test_fig3_group_sizes(benchmark, bench_config, save_artifact):
+    result = run_once(benchmark, lambda: fig3.run(bench_config))
+    save_artifact("fig3", result.format_table() + "\n\n" + result.format_chart())
+
+    dist = result.distribution
+    expected_groups = LANL_CM5.n_groups * bench_n_jobs() / LANL_CM5.n_jobs
+    assert dist.n_groups == abs(dist.n_groups)
+    assert 0.7 * expected_groups <= dist.n_groups <= 1.3 * expected_groups
+    assert dist.fraction_of_groups_at_least(10) == abs(dist.fraction_of_groups_at_least(10))
+    assert 0.13 <= dist.fraction_of_groups_at_least(10) <= 0.27  # paper: 0.194
+    assert 0.72 <= dist.fraction_of_jobs_at_least(10) <= 0.93  # paper: 0.83

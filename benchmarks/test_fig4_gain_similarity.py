@@ -1,0 +1,28 @@
+"""FIG4 bench: regenerate Figure 4 (potential gain vs similarity range).
+
+Paper claims checked: most >= 10-job groups sit at the low end of the
+similarity-range axis (tight groups), and groups with gain above an order of
+magnitude exist — "a good starting point for effective resource estimation".
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_gain_vs_similarity(benchmark, bench_config, save_artifact):
+    result = run_once(benchmark, lambda: fig4.run(bench_config))
+    save_artifact("fig4", result.format_table() + "\n\n" + result.format_chart())
+
+    assert len(result.points) > 50
+    # Tight groups dominate.
+    assert np.median(result.ranges) < 1.3
+    assert np.mean(result.ranges <= 1.5) > 0.6
+    # High-gain opportunities exist and are not confined to loose groups.
+    assert result.gains.max() > 10.0
+    tight_high_gain = [
+        p for p in result.points if p.similarity_range < 1.5 and p.potential_gain > 10.0
+    ]
+    assert tight_high_gain

@@ -1,0 +1,47 @@
+"""FIG5 bench: regenerate Figure 5 (utilization vs load, with/without
+estimation) on the 512x32MB + 512x24MB cluster.
+
+Paper claims checked: estimation improves saturation utilization by ~58%
+(we assert a wide band around it — the trace is a calibrated stand-in), the
+improvement concentrates in the saturated regime, and the §3.2
+conservativeness statistics hold (few failed executions, a 15-40%-ish share
+of reduced submissions).
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_utilization_vs_load(benchmark, bench_config, save_artifact):
+    result = run_once(benchmark, lambda: fig5.run(bench_config))
+    save_artifact("fig5", result.format_table() + "\n\n" + result.format_chart())
+
+    # Headline improvement (paper: +58% at the saturation point).
+    assert 0.25 <= result.improvement <= 1.0
+
+    # Estimation never hurts utilization at any load.
+    ratio = result.with_estimation.utilizations / result.without_estimation.utilizations
+    assert np.all(ratio >= 0.97)
+
+    # Conservativeness (§3.2; paper reports <= 0.01% failures, 15-40% reduced).
+    assert result.with_estimation.max_frac_failed < 0.01
+    lo, hi = result.with_estimation.reduced_range
+    assert hi >= 0.15
+    assert lo >= 0.0
+
+    # The baseline saturates well below the machine: the over-provisioned
+    # requests confine most work to the 32MB half.
+    assert result.saturation_without.max_utilization < 0.6
+
+
+def test_fig5_backfilling_conjecture(benchmark, bench_config, save_artifact):
+    """§3.1's future-work conjecture: gains carry over to backfilling."""
+    import dataclasses
+
+    cfg = dataclasses.replace(bench_config, loads=(0.6, 0.9), n_jobs=min(bench_config.n_jobs, 8000))
+    result = run_once(benchmark, lambda: fig5.run(cfg, policy="easy-backfilling"))
+    save_artifact("fig5_backfilling", result.format_table())
+    assert result.improvement > 0.15

@@ -1,0 +1,20 @@
+"""FIG7 bench: regenerate Figure 7 (per-group estimate trajectory).
+
+Paper claims checked, exactly: requested 32 MB, actual ~5 MB, alpha=2,
+beta=0 — the estimate halves (32, 16, 8), the 4 MB attempt fails, and the
+group settles at 8 MB: "a four-fold reduction in memory resources".
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_estimate_trajectory(benchmark, bench_config, save_artifact):
+    result = run_once(benchmark, lambda: fig7.run(bench_config))
+    save_artifact("fig7", result.format_table() + "\n\n" + result.format_chart())
+
+    assert result.estimates[:5] == [32.0, 16.0, 8.0, 4.0, 8.0]
+    assert result.n_failures == 1
+    assert result.final_estimate == 8.0
+    assert result.reduction_factor == 4.0

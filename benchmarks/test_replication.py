@@ -1,0 +1,28 @@
+"""EXT bench: seed replication of the Figure 5 headline.
+
+Not a paper artifact — the statistical-rigor companion to FIG5: the
+improvement must be large and *consistent* across independent trace seeds,
+not a one-seed fluke.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.experiments import replication
+
+
+def test_headline_replicates_across_seeds(benchmark, bench_config, save_artifact):
+    cfg = dataclasses.replace(bench_config, n_jobs=min(bench_config.n_jobs, 8_000))
+    result = run_once(benchmark, lambda: replication.run(cfg, seeds=(0, 1, 2, 3, 4)))
+    save_artifact("replication", result.format_table())
+
+    # Every single seed shows a solid improvement...
+    assert all(p.improvement > 0.2 for p in result.points)
+    # ...slowdown never got worse...
+    assert all(p.slowdown_ratio >= 0.95 for p in result.points)
+    # ...failures stay conservative everywhere...
+    assert all(p.frac_failed < 0.01 for p in result.points)
+    # ...and the mean is in the paper's ballpark with bounded spread.
+    assert result.mean_improvement > 0.35
+    assert result.std_improvement < 0.35

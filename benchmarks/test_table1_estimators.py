@@ -1,0 +1,44 @@
+"""TAB1 bench: the estimator taxonomy head-to-head (paper Table 1).
+
+The paper evaluates only the similarity row (successive approximation); the
+no-similarity row is its future-work roadmap.  This bench runs all four plus
+the baseline and the oracle, checking the taxonomy's qualitative ordering.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_estimator_taxonomy(benchmark, bench_config, save_artifact):
+    result = run_once(benchmark, lambda: table1.run(bench_config))
+    save_artifact("table1", result.format_table())
+
+    base = result.baseline
+    oracle = result.row("oracle")
+
+    # The oracle brackets everything from above; the baseline from below.
+    for row in result.rows:
+        assert row.utilization >= base.utilization * 0.97
+        assert row.utilization <= oracle.utilization * 1.03
+
+    # The paper's algorithm delivers a large share of the oracle headroom.
+    sa = result.row("successive-approximation")
+    assert sa.improvement_over(base) > 0.25
+
+    # Explicit feedback within the similarity row is at least as safe:
+    # last-instance can verify failures against usage, so it fails (much)
+    # less often than implicit successive approximation.
+    li = result.row("last-instance")
+    assert li.frac_failed <= sa.frac_failed + 1e-9
+    assert li.improvement_over(base) > 0.25
+
+    # The no-similarity row also beats the baseline (global policies).
+    assert result.row("reinforcement-learning").improvement_over(base) > 0.10
+    # Regression is the weakest contender and its edge shrinks with trace
+    # size: its conservative log-space margin (prediction + sigma) rarely
+    # dips below the 24MB tier boundary when the request features explain
+    # little usage variance — consistent with the paper relegating
+    # regression to future work.  Require only that it never hurts.
+    assert result.row("regression").improvement_over(base) > -0.02
+    assert result.row("regression").frac_failed < 0.01

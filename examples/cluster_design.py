@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Design a heterogeneous cluster from a scheduler log (the Figure 8 insight).
+
+§3.2's closing observation: because the utilization improvement tracks the
+node count of jobs that benefit from estimation (R^2 = 0.991 in the paper),
+one can *choose the machines of a cluster* to maximize that count.  This
+example:
+
+1. takes a workload (the calibrated LANL CM5 stand-in),
+2. ranks candidate second-tier memory sizes by benefiting node count using
+   :func:`repro.cluster.builder.design_second_tier` — a static analysis that
+   iterates Algorithm 1's own dynamics per job class, and
+3. validates the analysis by simulating the best and worst candidates.
+
+Run:  python examples/cluster_design.py [n_jobs]
+"""
+
+import sys
+
+from repro.cluster import design_second_tier, paper_cluster
+from repro.cluster.builder import best_second_tier
+from repro.core import NoEstimation, SuccessiveApproximation
+from repro.sim import simulate, utilization
+from repro.workload import drop_full_machine_jobs, lanl_cm5_like, scale_load
+
+
+def simulated_ratio(trace, mem: float) -> float:
+    base = simulate(trace, paper_cluster(mem), estimator=NoEstimation(), seed=1)
+    est = simulate(trace, paper_cluster(mem), estimator=SuccessiveApproximation(), seed=1)
+    return utilization(est) / utilization(base)
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    trace = scale_load(drop_full_machine_jobs(lanl_cm5_like(n_jobs=n_jobs, seed=0)), 0.8)
+
+    candidates = [4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0]
+    choices = design_second_tier(trace, candidates, alpha=2.0)
+
+    print("static design analysis (Algorithm 1 dynamics, alpha=2):\n")
+    print(f"{'tier-2 MB':>10s}{'benefiting jobs':>17s}{'benefiting nodes':>18s}"
+          f"{'blocked by alpha':>18s}{'usage too big':>15s}")
+    for c in choices:
+        print(
+            f"{c.second_tier_mem:>10.0f}{c.benefiting_jobs:>17d}{c.benefiting_node_count:>18d}"
+            f"{c.blocked_by_alpha:>18d}{c.oversized_usage:>15d}"
+        )
+
+    best = best_second_tier(choices)
+    worst = min(choices, key=lambda c: c.benefiting_node_count)
+    print(f"\nbest candidate : {best.second_tier_mem:.0f} MB "
+          f"({best.benefiting_node_count} benefiting nodes)")
+    print(f"worst candidate: {worst.second_tier_mem:.0f} MB "
+          f"({worst.benefiting_node_count} benefiting nodes)")
+
+    print("\nvalidating by simulation (utilization with/without estimation):")
+    for label, mem in (("best", best.second_tier_mem), ("worst", worst.second_tier_mem)):
+        ratio = simulated_ratio(trace, mem)
+        print(f"  {label:5s} ({mem:.0f} MB): ratio {ratio:.2f}")
+    print("\nThe candidate the static analysis ranks first should show the "
+          "larger simulated improvement — the Figure 8 linear relationship at work.")
+
+    # --- beyond the paper: design the whole ladder ---------------------------
+    from repro.cluster import design_ladder
+
+    print("\nfull-ladder search (3 equal tiers, predicted sustainable load):")
+    designs = design_ladder(
+        trace,
+        candidate_levels=[8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0],
+        n_tiers=3,
+        total_nodes=1024,
+        alpha=2.0,
+    )
+    for d in designs[:5]:
+        levels = " + ".join(f"{l:g}MB" for l in d.levels)
+        print(f"  {levels:28s} -> sustainable load {d.sustainable_load:.2f}")
+
+
+if __name__ == "__main__":
+    main()

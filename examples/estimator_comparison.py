@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Compare every estimator in the paper's Table 1 taxonomy on one workload.
+
+Runs the no-estimation baseline, Algorithm 1 (successive approximation),
+last-instance identification, reinforcement learning, regression modeling,
+and the perfect-knowledge oracle on the same trace/cluster/load, then prints
+the comparison plus a peek inside the learnt models:
+
+* the RL agent's greedy reduction policy per requested-memory level
+  (the paper's §4 "global policy" — e.g. "requests of 32 MB can safely be
+  cut to a quarter"), and
+* the regression model's weights over the request-file features.
+
+Run:  python examples/estimator_comparison.py [n_jobs] [load]
+"""
+
+import sys
+
+from repro.core import (
+    LastInstance,
+    NoEstimation,
+    OracleEstimator,
+    RegressionEstimator,
+    ReinforcementLearning,
+    SuccessiveApproximation,
+)
+from repro.cluster import paper_cluster
+from repro.sim import mean_slowdown, simulate, utilization
+from repro.workload import drop_full_machine_jobs, lanl_cm5_like, scale_load
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    load = float(sys.argv[2]) if len(sys.argv) > 2 else 0.8
+    trace = scale_load(drop_full_machine_jobs(lanl_cm5_like(n_jobs=n_jobs, seed=0)), load)
+
+    estimators = [
+        ("no-estimation (baseline)", NoEstimation()),
+        ("successive approximation", SuccessiveApproximation(alpha=2.0, beta=0.0)),
+        ("last-instance", LastInstance()),
+        ("reinforcement learning", ReinforcementLearning(rng=0)),
+        ("regression", RegressionEstimator()),
+        ("oracle (upper bound)", OracleEstimator()),
+    ]
+
+    print(f"{len(trace)} jobs at load {load:g} on {paper_cluster(24.0)}\n")
+    print(f"{'estimator':28s}{'utilization':>12s}{'slowdown':>10s}{'failures':>10s}{'reduced':>9s}")
+    rl = None
+    reg = None
+    for name, estimator in estimators:
+        result = simulate(trace, paper_cluster(24.0), estimator=estimator, seed=1)
+        print(
+            f"{name:28s}{utilization(result):>12.3f}{mean_slowdown(result):>10.0f}"
+            f"{result.frac_failed_executions:>10.3%}{result.frac_reduced_submissions:>9.0%}"
+        )
+        if isinstance(estimator, ReinforcementLearning):
+            rl = estimator
+        if isinstance(estimator, RegressionEstimator):
+            reg = estimator
+
+    if rl is not None:
+        print("\nRL greedy policy (request level -> safe reduction factor):")
+        for state, factor in sorted(rl.policy().items()):
+            print(f"  request {state:>5g} MB -> x{factor:g}")
+
+    if reg is not None and reg.weights is not None:
+        names = ["intercept", "req_mem", "log(req_mem)", "log(procs)", "log(req_time)"]
+        print(f"\nregression model ({reg.n_samples} samples, residual sigma "
+              f"{reg.residual_std:.2f} in log space):")
+        for fname, w in zip(names, reg.weights):
+            print(f"  {fname:14s} {w:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

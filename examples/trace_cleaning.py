@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Trace cleaning: why flurries must be removed before drawing conclusions.
+
+The Parallel Workloads Archive ships "cleaned" trace versions because raw
+logs contain flurries — one user's runaway script submitting thousands of
+near-identical jobs — that can dominate any statistic.  This example
+contaminates a clean trace with a synthetic flurry, shows how it skews the
+Figure 1 analysis, detects it, removes it, and confirms the statistics
+recover.
+
+Run:  python examples/trace_cleaning.py [n_jobs]
+"""
+
+import sys
+
+from repro.workload import (
+    characterize,
+    detect_flurries,
+    inject_flurry,
+    lanl_cm5_like,
+    overprovisioning_stats,
+    remove_flurries,
+)
+from repro.workload.job import Job
+
+
+def headline(tag, workload):
+    stats = overprovisioning_stats(workload)
+    report = characterize(workload)
+    print(
+        f"{tag:12s} jobs={len(workload):>6d}  ratio>=2={stats.frac_ratio_ge_2:.1%}  "
+        f"top-user={report.top_user_share:.1%}  busiest-hour={report.peak_hour_share:.1%}"
+    )
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    clean = lanl_cm5_like(n_jobs=n_jobs, seed=0)
+    headline("clean", clean)
+
+    # A stuck resubmission loop: one user, thousands of tiny identical jobs
+    # with a pathological (huge) over-provisioning ratio.
+    template = Job(
+        job_id=0, submit_time=0.0, run_time=20.0, procs=1,
+        req_mem=32.0, used_mem=0.25, user_id=7, app_id=777,
+    )
+    dirty = inject_flurry(
+        clean, user_id=7, start_time=clean.span * 0.4,
+        n_jobs=n_jobs // 3, interarrival=5.0, template=template,
+    )
+    headline("contaminated", dirty)
+
+    flurries = detect_flurries(dirty, threshold=50)
+    print(f"\ndetected {len(flurries)} flurr{'y' if len(flurries) == 1 else 'ies'}:")
+    for f in flurries:
+        print(
+            f"  user {f.user_id}: {f.n_jobs} jobs in "
+            f"{f.duration / 3600:.1f}h starting at t={f.start_time:.0f}s"
+        )
+
+    cleaned, _ = remove_flurries(dirty, threshold=50)
+    headline("cleaned", cleaned)
+    print(
+        "\nAfter cleaning, the over-provisioning statistics return to the "
+        "clean trace's values — conclusions drawn from the contaminated "
+        "trace would have been artifacts of one runaway user."
+    )
+
+
+if __name__ == "__main__":
+    main()

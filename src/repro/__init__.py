@@ -1,0 +1,96 @@
+"""repro: estimation of actual job requirements for heterogeneous clusters.
+
+A production-grade reproduction of Yom-Tov & Aridor, *Improving Resource
+Matching Through Estimation of Actual Job Requirements* (HPDC 2006): machine
+learning estimators that let a scheduler match jobs to machines with **less**
+capacity than requested, a trace-driven discrete-event simulator of the
+paper's heterogeneous-cluster scheduling model, a calibrated synthetic LANL
+CM5 workload, and the full experiment harness regenerating every figure and
+table in the paper.
+
+Quick start
+-----------
+>>> from repro import quickstart
+>>> print(quickstart())           # doctest: +SKIP
+
+or, the pieces individually::
+
+    from repro.workload import lanl_cm5_like, drop_full_machine_jobs, scale_load
+    from repro.cluster import paper_cluster
+    from repro.core import SuccessiveApproximation, NoEstimation
+    from repro.sim import simulate, utilization
+
+    trace = scale_load(drop_full_machine_jobs(lanl_cm5_like(n_jobs=20_000)), 0.8)
+    base = simulate(trace, paper_cluster(24.0), estimator=NoEstimation())
+    est = simulate(trace, paper_cluster(24.0), estimator=SuccessiveApproximation())
+    print(utilization(est) / utilization(base))   # ~1.5x
+
+Package map
+-----------
+- :mod:`repro.core` -- the estimators (Algorithm 1 and the Table 1 taxonomy)
+- :mod:`repro.workload` -- job records, SWF I/O, the calibrated synthetic trace
+- :mod:`repro.similarity` -- similarity groups and their quality analyses
+- :mod:`repro.cluster` -- heterogeneous cluster model and capacity ladders
+- :mod:`repro.sim` -- the discrete-event scheduler simulator and metrics
+- :mod:`repro.experiments` -- one module per paper figure/table
+"""
+
+from repro.core import (
+    Estimator,
+    Feedback,
+    LastInstance,
+    NoEstimation,
+    OracleEstimator,
+    RegressionEstimator,
+    ReinforcementLearning,
+    RobustLineSearch,
+    SuccessiveApproximation,
+)
+from repro.cluster import Cluster, CapacityLadder, paper_cluster
+from repro.sim import Simulation, simulate, utilization, mean_slowdown
+from repro.workload import Workload, Job, lanl_cm5_like
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityLadder",
+    "Cluster",
+    "Estimator",
+    "Feedback",
+    "Job",
+    "LastInstance",
+    "NoEstimation",
+    "OracleEstimator",
+    "RegressionEstimator",
+    "ReinforcementLearning",
+    "RobustLineSearch",
+    "Simulation",
+    "SuccessiveApproximation",
+    "Workload",
+    "lanl_cm5_like",
+    "mean_slowdown",
+    "paper_cluster",
+    "quickstart",
+    "simulate",
+    "utilization",
+    "__version__",
+]
+
+
+def quickstart(n_jobs: int = 5000, load: float = 0.8, seed: int = 0) -> str:
+    """Run a miniature end-to-end comparison and return a report string."""
+    from repro.workload import drop_full_machine_jobs, scale_load
+
+    trace = scale_load(
+        drop_full_machine_jobs(lanl_cm5_like(n_jobs=n_jobs, seed=seed)), load
+    )
+    cluster = paper_cluster(24.0)
+    base = simulate(trace, paper_cluster(24.0), estimator=NoEstimation(), seed=seed)
+    est = simulate(trace, paper_cluster(24.0), estimator=SuccessiveApproximation(), seed=seed)
+    u0, u1 = utilization(base), utilization(est)
+    return (
+        f"{n_jobs} jobs @ load {load:g} on {cluster!r}\n"
+        f"utilization without estimation: {u0:.3f}\n"
+        f"utilization with estimation   : {u1:.3f}  ({u1 / u0 - 1:+.1%} vs baseline)\n"
+        f"slowdown ratio (base/est)     : {mean_slowdown(base) / mean_slowdown(est):.2f}"
+    )

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` script).
+
+Subcommands
+-----------
+``quickstart``
+    The headline with/without-estimation comparison on a small trace.
+``generate``
+    Write a calibrated synthetic LANL-CM5-like trace to an SWF file.
+``analyze``
+    The paper's trace analyses (Figures 1/3/4 statistics) for an SWF file
+    or a synthetic trace.
+``simulate``
+    One simulation run: workload x cluster x estimator x policy -> report.
+``experiment``
+    Regenerate a paper artifact (fig1, fig3..fig8, table1).
+``design``
+    The Figure 8 cluster-design tool: rank second-tier memory sizes for a
+    workload.
+
+Every subcommand accepts ``--jobs`` and ``--seed`` so results are exactly
+reproducible from the shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster import design_ladder, design_second_tier, paper_cluster
+from repro.core import (
+    Estimator,
+    HybridEstimator,
+    LastInstance,
+    NoEstimation,
+    OnlineSimilarityEstimator,
+    OracleEstimator,
+    RegressionEstimator,
+    ReinforcementLearning,
+    RobustLineSearch,
+    SuccessiveApproximation,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.sim import (
+    EasyBackfilling,
+    Fcfs,
+    Policy,
+    ShortestJobFirst,
+    mean_slowdown,
+    simulate,
+    utilization,
+)
+from repro.workload import (
+    Workload,
+    drop_full_machine_jobs,
+    lanl_cm5_like,
+    overprovisioning_stats,
+    read_swf,
+    scale_load,
+    write_swf,
+)
+
+#: Estimators constructible from the command line.
+ESTIMATORS: Dict[str, Callable[[int], Estimator]] = {
+    "none": lambda seed: NoEstimation(),
+    "successive": lambda seed: SuccessiveApproximation(),
+    "last-instance": lambda seed: LastInstance(),
+    "rl": lambda seed: ReinforcementLearning(rng=seed),
+    "regression": lambda seed: RegressionEstimator(),
+    "line-search": lambda seed: RobustLineSearch(),
+    "online": lambda seed: OnlineSimilarityEstimator(),
+    "hybrid": lambda seed: HybridEstimator(),
+    "oracle": lambda seed: OracleEstimator(),
+}
+
+POLICIES: Dict[str, Callable[[], Policy]] = {
+    "fcfs": Fcfs,
+    "sjf": ShortestJobFirst,
+    "easy": EasyBackfilling,
+}
+
+EXPERIMENTS = (
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table1",
+    "falsepositives",
+    "policies_exp",
+    "replication",
+)
+
+
+def _load_workload(args: argparse.Namespace) -> Workload:
+    """Workload from --trace (SWF) or the calibrated synthetic generator."""
+    if getattr(args, "trace", None):
+        workload, report = read_swf(args.trace)
+        print(report.summary(), file=sys.stderr)
+        return workload
+    return lanl_cm5_like(n_jobs=args.jobs, seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=10_000, help="synthetic trace length"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import quickstart
+
+    print(quickstart(n_jobs=args.jobs, load=args.load, seed=args.seed))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    workload = lanl_cm5_like(n_jobs=args.jobs, seed=args.seed)
+    write_swf(
+        workload,
+        args.output,
+        header_comments=[
+            f"synthetic LANL CM5 stand-in: {args.jobs} jobs, seed {args.seed}"
+        ],
+    )
+    print(f"wrote {len(workload)} jobs to {args.output}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.similarity import similarity_report
+    from repro.workload.report import characterize
+
+    workload = _load_workload(args)
+    print("== trace characterization ==")
+    print(characterize(workload).format_report())
+    print()
+    print("== over-provisioning (Figure 1) ==")
+    print(overprovisioning_stats(workload).format_report())
+    print()
+    print("== similarity structure (Figures 3/4) ==")
+    print(similarity_report(workload).format_report())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    workload = drop_full_machine_jobs(_load_workload(args))
+    workload = scale_load(workload, args.load)
+    cluster = paper_cluster(args.tier2)
+    estimator = ESTIMATORS[args.estimator](args.seed)
+    result = simulate(
+        workload,
+        cluster,
+        estimator=estimator,
+        policy=POLICIES[args.policy](),
+        seed=args.seed,
+    )
+    print(result.summary_table())
+    print(f"utilization: {utilization(result):.3f}")
+    print(f"mean slowdown: {mean_slowdown(result):.1f}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    config = ExperimentConfig(n_jobs=args.jobs, seed=args.seed)
+    result = module.run(config)
+    print(result.format_table())
+    if hasattr(result, "format_chart"):
+        print()
+        print(result.format_chart())
+    return 0
+
+
+def cmd_design(args: argparse.Namespace) -> int:
+    workload = drop_full_machine_jobs(_load_workload(args))
+    candidates = [float(m) for m in args.candidates]
+    if args.tiers > 1:
+        designs = design_ladder(
+            workload,
+            candidate_levels=candidates + [32.0],
+            n_tiers=args.tiers,
+            total_nodes=1024,
+            alpha=args.alpha,
+        )
+        print(f"{'ladder (MB)':>24s}{'sustainable load':>18s}")
+        for d in designs[:10]:
+            levels = "+".join(f"{l:g}" for l in d.levels)
+            print(f"{levels:>24s}{d.sustainable_load:>18.2f}")
+        return 0
+    choices = design_second_tier(workload, candidates, alpha=args.alpha)
+    print(f"{'tier-2 MB':>10s}{'benefiting jobs':>17s}{'benefiting nodes':>18s}")
+    for c in sorted(choices, key=lambda c: -c.benefiting_node_count):
+        print(f"{c.second_tier_mem:>10.0f}{c.benefiting_jobs:>17d}{c.benefiting_node_count:>18d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Estimation of actual job requirements for heterogeneous "
+            "clusters (Yom-Tov & Aridor, HPDC 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="with/without-estimation comparison")
+    _add_common(p)
+    p.add_argument("--load", type=float, default=0.8)
+    p.set_defaults(fn=cmd_quickstart)
+
+    p = sub.add_parser("generate", help="write a synthetic trace as SWF")
+    _add_common(p)
+    p.add_argument("output", help="output .swf path")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("analyze", help="Figure 1/3/4 trace analyses")
+    _add_common(p)
+    p.add_argument("--trace", help="SWF file (default: synthetic)")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("simulate", help="one simulation run")
+    _add_common(p)
+    p.add_argument("--trace", help="SWF file (default: synthetic)")
+    p.add_argument("--load", type=float, default=0.8, help="offered load")
+    p.add_argument("--tier2", type=float, default=24.0, help="second-tier memory MB")
+    p.add_argument(
+        "--estimator", choices=sorted(ESTIMATORS), default="successive"
+    )
+    p.add_argument("--policy", choices=sorted(POLICIES), default="fcfs")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    _add_common(p)
+    p.add_argument("name", choices=EXPERIMENTS)
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("design", help="rank second-tier memory sizes (Fig 8 tool)")
+    _add_common(p)
+    p.add_argument("--trace", help="SWF file (default: synthetic)")
+    p.add_argument("--alpha", type=float, default=2.0)
+    p.add_argument(
+        "--candidates",
+        nargs="+",
+        default=["8", "16", "20", "24", "28"],
+        help="candidate second-tier memory sizes (MB)",
+    )
+    p.add_argument(
+        "--tiers",
+        type=int,
+        default=1,
+        help="tiers to design beside 32MB; >1 searches full ladders",
+    )
+    p.set_defaults(fn=cmd_design)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Heterogeneous cluster model.
+
+The paper's clusters are sets of machines differing in memory capacity (e.g.
+512 nodes with 32 MB plus 512 nodes with 24 MB).  This package provides
+
+* :class:`repro.cluster.machine.Machine` — one node,
+* :class:`repro.cluster.ladder.CapacityLadder` — the sorted capacity levels
+  of a cluster, including the rounding operation of Algorithm 1 line 6
+  ("rounded to the lowest resource capacity within the cluster >= E_i"),
+* :class:`repro.cluster.cluster.Cluster` — allocation/release with free-node
+  counts grouped by capacity level (machines of equal capacity are
+  interchangeable, so the hot path never touches individual machines),
+* :mod:`repro.cluster.builder` — convenience constructors for the paper's
+  cluster configurations and the cluster-design tool derived from Figure 8.
+"""
+
+from repro.cluster.machine import Machine
+from repro.cluster.ladder import CapacityLadder
+from repro.cluster.cluster import Allocation, AllocationStrategy, Cluster
+from repro.cluster.builder import (
+    DesignChoice,
+    LadderDesign,
+    design_ladder,
+    design_second_tier,
+    evaluate_ladder,
+    homogeneous,
+    paper_cluster,
+    stable_level,
+    two_tier,
+)
+
+__all__ = [
+    "Allocation",
+    "AllocationStrategy",
+    "CapacityLadder",
+    "Cluster",
+    "DesignChoice",
+    "LadderDesign",
+    "Machine",
+    "design_ladder",
+    "design_second_tier",
+    "evaluate_ladder",
+    "homogeneous",
+    "paper_cluster",
+    "stable_level",
+    "two_tier",
+]

@@ -1,0 +1,63 @@
+"""Core contribution: estimation of actual job requirements.
+
+This package implements the paper's estimator taxonomy (Table 1):
+
+====================  ==========  ===============================================
+ Estimator             Feedback    Similarity groups
+====================  ==========  ===============================================
+ SuccessiveApproximation  implicit   yes — Algorithm 1, the paper's main algorithm
+ LastInstance             explicit   yes — reuse the previous instance's usage
+ ReinforcementLearning    implicit   no  — global reduction policy learnt by RL
+ RegressionEstimator      explicit   no  — request-parameters -> usage regression
+====================  ==========  ===============================================
+
+plus the reference points :class:`NoEstimation` (the conventional matcher:
+trust the user's request — every "without estimation" curve in the paper) and
+:class:`OracleEstimator` (perfect knowledge of actual usage — the upper
+bound), and two extensions the paper sketches: multi-resource estimation
+(§2.3's generalization) and a robust line-search variant (§2.3's fix for
+mixed-usage groups).
+
+All estimators speak the same protocol (:class:`Estimator`): the scheduler
+calls :meth:`~Estimator.estimate` at each submission to obtain the per-node
+capacity to request from the matcher, and :meth:`~Estimator.observe` with a
+:class:`Feedback` after each execution attempt.
+"""
+
+from repro.core.base import Estimator, Feedback
+from repro.core.baselines import NoEstimation, OracleEstimator
+from repro.core.successive import GroupState, SuccessiveApproximation
+from repro.core.last_instance import LastInstance
+from repro.core.regression import RegressionEstimator
+from repro.core.reinforcement import ReinforcementLearning
+from repro.core.hybrid import HybridEstimator
+from repro.core.linesearch import RobustLineSearch
+from repro.core.online import OnlineSimilarityEstimator
+from repro.core.persistence import dump_state, dumps, load_state, loads
+from repro.core.multi_resource import (
+    CoordinateDescentEstimator,
+    MultiResourceTask,
+    ResourceVector,
+)
+
+__all__ = [
+    "CoordinateDescentEstimator",
+    "Estimator",
+    "Feedback",
+    "GroupState",
+    "HybridEstimator",
+    "LastInstance",
+    "MultiResourceTask",
+    "NoEstimation",
+    "OnlineSimilarityEstimator",
+    "OracleEstimator",
+    "RegressionEstimator",
+    "ReinforcementLearning",
+    "ResourceVector",
+    "RobustLineSearch",
+    "SuccessiveApproximation",
+    "dump_state",
+    "dumps",
+    "load_state",
+    "loads",
+]

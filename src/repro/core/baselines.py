@@ -1,0 +1,56 @@
+"""Reference estimators: the no-estimation baseline and the oracle bound.
+
+* :class:`NoEstimation` — trust the user's request verbatim.  Every
+  "without resource estimation" curve in the paper (Figures 5, 6, 8) is the
+  simulator running with this estimator.
+* :class:`OracleEstimator` — perfect knowledge of the actual usage.  Not in
+  the paper, but the natural upper bound for any learning estimator; the
+  Table 1 benchmark reports it so each algorithm's headroom is visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Estimator, Feedback
+from repro.workload.job import Job
+
+
+class NoEstimation(Estimator):
+    """The conventional matcher: request exactly what the user asked for."""
+
+    name = "no-estimation"
+
+    def estimate(self, job: Job, attempt: int = 0) -> float:
+        return job.req_mem
+
+    def observe(self, feedback: Feedback) -> None:
+        # Nothing to learn: the requirement never changes.
+        pass
+
+    def never_reduces(self) -> bool:
+        return True
+
+
+class OracleEstimator(Estimator):
+    """Perfect estimation: request the job's actual usage.
+
+    The margin guards against degenerate equality at a capacity level
+    boundary being read as slack by downstream analyses; with the default 1.0
+    the oracle requests exactly the actual usage.  Never requests more than
+    the user did (a job using more than it requested would not have completed
+    on the original system either).
+    """
+
+    name = "oracle"
+
+    def __init__(self, margin: float = 1.0) -> None:
+        super().__init__()
+        if margin < 1.0:
+            raise ValueError(f"margin must be >= 1 (an under-request fails), got {margin}")
+        self.margin = margin
+
+    def estimate(self, job: Job, attempt: int = 0) -> float:
+        return min(job.used_mem * self.margin, job.req_mem)
+
+    def observe(self, feedback: Feedback) -> None:
+        # The oracle already knows everything.
+        pass

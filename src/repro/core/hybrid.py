@@ -1,0 +1,90 @@
+"""Hybrid estimation: similarity groups where they exist, regression elsewhere.
+
+Figure 3's inconvenient truth: most similarity groups are tiny — under the
+paper's key, ~80% of LANL CM5 groups have fewer than 10 jobs, and every
+group's *first* submission has no history at all.  A pure similarity
+estimator therefore runs a large share of submissions at the raw request.
+
+The taxonomy's other axis fills the gap: a **global regression model** (the
+Table 1 explicit/no-similarity cell) can estimate from request parameters
+alone, with no per-group history.  :class:`HybridEstimator` combines them:
+
+* a group with at least ``min_group_successes`` successful observations is
+  trusted to its similarity estimator (Algorithm 1 by default),
+* anything colder falls back to the regression model's conservative
+  prediction (never below what the similarity estimator would ask — the
+  fallback exists to *cut* cold requests, not to override learned state).
+
+All feedback is fed to **both** learners, so a successful regression-guided
+submission also seeds the job's group (Algorithm 1 reads the successful
+requirement as its new safe value) — the two estimators bootstrap each
+other.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.ladder import CapacityLadder
+from repro.core.base import Estimator, Feedback
+from repro.core.regression import RegressionEstimator
+from repro.core.successive import SuccessiveApproximation
+from repro.workload.job import Job
+
+
+class HybridEstimator(Estimator):
+    """Similarity-first estimation with a global-regression cold-start path."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        similarity: Optional[SuccessiveApproximation] = None,
+        fallback: Optional[RegressionEstimator] = None,
+        min_group_successes: int = 1,
+    ) -> None:
+        super().__init__()
+        if min_group_successes < 1:
+            raise ValueError(
+                f"min_group_successes must be >= 1, got {min_group_successes}"
+            )
+        self.similarity = similarity or SuccessiveApproximation()
+        self.fallback = fallback or RegressionEstimator()
+        self.min_group_successes = min_group_successes
+
+    def bind(self, ladder: CapacityLadder) -> None:
+        super().bind(ladder)
+        self.similarity.bind(ladder)
+        self.fallback.bind(ladder)
+
+    def _group_is_warm(self, job: Job) -> bool:
+        state = self.similarity.group_state_for(job)
+        return state is not None and state.successes >= self.min_group_successes
+
+    def estimate(self, job: Job, attempt: int = 0) -> float:
+        similarity_req = self.similarity.estimate(job, attempt=attempt)
+        if self._group_is_warm(job) or attempt > 0:
+            # Warm group — or a retry, where the similarity estimator's
+            # per-job escalation logic must stay in charge.
+            return similarity_req
+        fallback_req = self.fallback.estimate(job, attempt=attempt)
+        # The fallback may only *cut* the cold request, never raise a job
+        # above what the (conservative, request-seeded) group would ask.
+        return min(similarity_req, fallback_req)
+
+    def observe(self, feedback: Feedback) -> None:
+        self.similarity.observe(feedback)
+        self.fallback.observe(feedback)
+
+    def reset(self) -> None:
+        self.similarity.reset()
+        self.fallback.reset()
+
+    # -------------------------------------------------------- introspection
+    @property
+    def n_groups(self) -> int:
+        return self.similarity.n_groups
+
+    @property
+    def n_fallback_samples(self) -> int:
+        return self.fallback.n_samples

@@ -1,0 +1,155 @@
+"""Robust line-search estimation — the §2.3 extension.
+
+Algorithm 1 assumes every job in a similarity group uses the same capacity.
+The paper's own counter-example: J1 (12 MB) and J2 (18 MB) share a group with
+64 MB requests on a {8, 16, 32, 64} cluster; after J2 fails at 16 MB the
+group freezes at 32 MB even though 16 MB "would be a better estimate" for J1.
+"This problem can be solved using a class of robust line search algorithms"
+(citing Anderson & Ferris's direct search under noisy evaluations) — left
+outside the paper's scope, implemented here.
+
+The estimator maintains, per group, a **bracket** ``(lo, hi]``:
+
+* ``hi`` — the smallest requirement observed to succeed (trusted only after
+  ``confidence`` consecutive successes at that level, which is the robustness
+  device against noisy/mixed groups),
+* ``lo`` — the largest requirement observed to fail.
+
+Each submission probes the ladder level nearest the geometric midpoint of the
+bracket.  A success at the probe tightens ``hi``; a failure raises ``lo``.
+Unlike Algorithm 1 (whose beta = 0 freeze is one-shot), the bracket keeps
+narrowing until no ladder level separates ``lo`` from ``hi``, and a failure
+*above* ``lo`` widens the picture instead of poisoning the estimate — the
+J1/J2 group converges to 32 MB for matching purposes but records that 16 MB
+failed, never retrying below it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.base import Estimator, Feedback, clamp_to_request
+from repro.similarity.keys import GroupKey, KeyFunction, by_user_app_reqmem
+from repro.workload.job import Job
+
+
+@dataclass
+class _Bracket:
+    lo: float  # largest requirement that failed (0 = nothing failed yet)
+    hi: float  # smallest requirement that succeeded (request until then)
+    hi_streak: int = 0  # consecutive successes at exactly `hi`
+    probes: int = 0
+
+    def converged(self) -> bool:
+        return self.lo >= self.hi
+
+
+class RobustLineSearch(Estimator):
+    """Bracketing line search over the capacity ladder, per similarity group.
+
+    Parameters
+    ----------
+    confidence:
+        Consecutive successes required at the current ``hi`` before probing
+        below it again after a failure elsewhere in the bracket.  1 recovers
+        an aggressive bisection; higher values are more robust to
+        mixed-usage groups.
+    """
+
+    name = "line-search"
+
+    def __init__(
+        self,
+        key_fn: Optional[KeyFunction] = None,
+        confidence: int = 2,
+        max_reduced_attempts: int = 2,
+    ) -> None:
+        super().__init__()
+        if confidence < 1:
+            raise ValueError(f"confidence must be >= 1, got {confidence}")
+        if max_reduced_attempts < 1:
+            raise ValueError(
+                f"max_reduced_attempts must be >= 1, got {max_reduced_attempts}"
+            )
+        self.key_fn: KeyFunction = key_fn or by_user_app_reqmem
+        self.confidence = confidence
+        self.max_reduced_attempts = max_reduced_attempts
+        self._brackets: Dict[GroupKey, _Bracket] = {}
+
+    # ---------------------------------------------------------------- probe
+    def _probe_value(self, bracket: _Bracket) -> float:
+        """Next requirement to try: ladder level nearest the bracket's
+        geometric midpoint, strictly inside (lo, hi)."""
+        if bracket.converged():
+            return bracket.hi
+        if bracket.hi_streak < self.confidence:
+            # Not yet confident at hi (including the very first submission,
+            # which always carries the request): consolidate before cutting.
+            return bracket.hi
+        if bracket.lo <= 0:
+            # Nothing failed yet: geometric descent akin to Algorithm 1's
+            # alpha = 2 (midpoint of (0, hi] in log space is ill-defined).
+            candidate = bracket.hi / 2.0
+        else:
+            candidate = math.sqrt(bracket.lo * bracket.hi)
+        level = self.ladder.round_up(candidate)
+        if level is None or level >= bracket.hi:
+            return bracket.hi
+        if level <= bracket.lo:
+            # No ladder level separates lo from hi: the search is done.
+            return bracket.hi
+        return level
+
+    # ------------------------------------------------------------- protocol
+    def estimate(self, job: Job, attempt: int = 0) -> float:
+        if attempt >= self.max_reduced_attempts:
+            return job.req_mem
+        key = self.key_fn(job)
+        bracket = self._brackets.get(key)
+        if bracket is None:
+            bracket = _Bracket(lo=0.0, hi=job.req_mem)
+            self._brackets[key] = bracket
+        return clamp_to_request(self._probe_value(bracket), job)
+
+    def observe(self, feedback: Feedback) -> None:
+        key = self.key_fn(feedback.job)
+        bracket = self._brackets.get(key)
+        if bracket is None:
+            return
+        value = feedback.requirement
+        if feedback.succeeded:
+            bracket.probes += 1
+            if value < bracket.hi:
+                bracket.hi = value
+                bracket.hi_streak = 1
+            elif value == bracket.hi:
+                bracket.hi_streak += 1
+            return
+        # Failure: anything at or below the failed value is unsafe for the
+        # group (robustness: even if only one member needs that much).
+        bracket.probes += 1
+        if value > bracket.lo:
+            bracket.lo = value
+            if bracket.lo >= bracket.hi:
+                # The supposedly safe level failed (mixed group / false
+                # positive): escalate hi to the next ladder level that can
+                # exceed lo, capped by the request on the estimate side.
+                above = self.ladder.levels_at_least(bracket.lo * (1 + 1e-9))
+                bracket.hi = above[0] if above else feedback.job.req_mem
+                bracket.hi_streak = 0
+
+    def reset(self) -> None:
+        self._brackets.clear()
+
+    # -------------------------------------------------------- introspection
+    def bracket(self, key: GroupKey) -> Optional[Dict[str, float]]:
+        b = self._brackets.get(key)
+        if b is None:
+            return None
+        return {"lo": b.lo, "hi": b.hi, "hi_streak": b.hi_streak, "probes": b.probes}
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._brackets)

@@ -1,0 +1,66 @@
+"""Online-similarity estimator: Algorithm 1 + adaptive group keys.
+
+Companion to :mod:`repro.similarity.online` (a §4 future-work item): wraps a
+similarity-based estimator around an :class:`~repro.similarity.online.AdaptiveKey`
+so group granularity is discovered while the system runs, instead of fixed
+offline.  Lives in :mod:`repro.core` because it is an estimator; the key
+machinery lives with the other similarity logic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import Estimator, Feedback
+from repro.core.successive import SuccessiveApproximation
+from repro.similarity.online import AdaptiveKey
+from repro.workload.job import Job
+
+
+class OnlineSimilarityEstimator(Estimator):
+    """Any similarity-based estimator + online group identification.
+
+    Wraps an inner estimator constructed with an :class:`AdaptiveKey` as its
+    key function, and routes explicit usage feedback to the key so it can
+    refine.  Defaults to Algorithm 1 as the inner estimator, giving an
+    online-similarity variant of the paper's main algorithm.
+    """
+
+    name = "online-similarity"
+
+    def __init__(
+        self,
+        adaptive_key: Optional[AdaptiveKey] = None,
+        inner: Optional[Estimator] = None,
+        **successive_kwargs,
+    ) -> None:
+        super().__init__()
+        self.adaptive_key = adaptive_key or AdaptiveKey()
+        if inner is not None:
+            if getattr(inner, "key_fn", None) is not self.adaptive_key:
+                raise ValueError(
+                    "the inner estimator must be constructed with this "
+                    "AdaptiveKey as its key_fn (key_fn=adaptive_key)"
+                )
+            self.inner = inner
+        else:
+            self.inner = SuccessiveApproximation(
+                key_fn=self.adaptive_key, **successive_kwargs
+            )
+        self.name = f"online-{self.inner.name}"
+
+    def bind(self, ladder) -> None:
+        super().bind(ladder)
+        self.inner.bind(ladder)
+
+    def estimate(self, job: Job, attempt: int = 0) -> float:
+        return self.inner.estimate(job, attempt=attempt)
+
+    def observe(self, feedback: Feedback) -> None:
+        if feedback.succeeded and feedback.used is not None:
+            self.adaptive_key.observe_usage(feedback.job, feedback.used)
+        self.inner.observe(feedback)
+
+    def reset(self) -> None:
+        self.adaptive_key.reset()
+        self.inner.reset()

@@ -1,0 +1,182 @@
+"""Regression modeling: explicit feedback, no similarity groups (Table 1).
+
+§4: "If explicit feedback is available, it is also possible to use
+regression models to estimate required resources ... a mapping from the
+request file parameters to the actual resource capacities used."  Continuing
+the paper's example, if every user over-provisions by 100%, the learnt
+mapping divides each request by 2.
+
+Implementation: **online ridge regression via recursive least squares** over
+request-file features.  No similarity key is used — one global model covers
+all jobs, trained from explicit feedback as executions complete (and,
+optionally, warm-started offline from a historical workload with
+:meth:`RegressionEstimator.fit`).
+
+The prediction is turned into a *requirement* conservatively: the model's
+point prediction plus ``safety_sigmas`` times the running residual standard
+deviation, clipped into ``[0, request]``.  Until ``min_samples`` observations
+have been seen the estimator trusts the request (a cold regression model is
+worse than the user).
+
+By default the regression target is ``log(used)`` (``log_target=True``):
+actual usage in these workloads spans two orders of magnitude, so residuals
+of a linear-space model are dominated by the large-usage tail and the
+safety margin balloons to near the request, neutering the estimator.  In
+log space the residuals are homoscedastic and the margin is a
+*multiplicative* head-room factor, which is the natural notion for capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import Estimator, Feedback, clamp_to_request
+from repro.util.validation import check_non_negative, check_positive
+from repro.workload.job import Job, Workload
+
+#: Maps a job's request parameters to a feature vector.
+FeatureFunction = Callable[[Job], np.ndarray]
+
+
+def default_features(job: Job) -> np.ndarray:
+    """Request-file features: intercept, memory (linear+log), size, runtime.
+
+    Only *request-time* information may be used — the whole point is to
+    predict usage before the job runs.
+    """
+    return np.array(
+        [
+            1.0,
+            job.req_mem,
+            np.log(job.req_mem),
+            np.log(float(job.procs)),
+            np.log(max(job.runtime_estimate, 1.0)),
+        ]
+    )
+
+
+@dataclass
+class _RlsState:
+    """Recursive-least-squares state: P = (X'X + lambda I)^-1 and weights."""
+
+    p_matrix: np.ndarray
+    weights: np.ndarray
+    n_samples: int = 0
+    residual_sq_sum: float = 0.0
+
+    @property
+    def residual_std(self) -> float:
+        if self.n_samples < 2:
+            return 0.0
+        return float(np.sqrt(self.residual_sq_sum / (self.n_samples - 1)))
+
+
+class RegressionEstimator(Estimator):
+    """Global request->usage regression (explicit feedback, no similarity)."""
+
+    name = "regression"
+
+    def __init__(
+        self,
+        feature_fn: FeatureFunction = default_features,
+        ridge: float = 1.0,
+        safety_sigmas: float = 1.0,
+        min_samples: int = 50,
+        max_reduced_attempts: int = 2,
+        log_target: bool = True,
+    ) -> None:
+        super().__init__()
+        check_positive("ridge", ridge)
+        check_non_negative("safety_sigmas", safety_sigmas)
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if max_reduced_attempts < 1:
+            raise ValueError(
+                f"max_reduced_attempts must be >= 1, got {max_reduced_attempts}"
+            )
+        self.feature_fn = feature_fn
+        self.ridge = ridge
+        self.safety_sigmas = safety_sigmas
+        self.min_samples = min_samples
+        self.max_reduced_attempts = max_reduced_attempts
+        self.log_target = log_target
+        self._state: Optional[_RlsState] = None
+
+    def _target(self, used: float) -> float:
+        return float(np.log(max(used, 1e-9))) if self.log_target else float(used)
+
+    # ------------------------------------------------------------------ RLS
+    def _ensure_state(self, n_features: int) -> _RlsState:
+        if self._state is None:
+            self._state = _RlsState(
+                p_matrix=np.eye(n_features) / self.ridge,
+                weights=np.zeros(n_features),
+            )
+        return self._state
+
+    def _update(self, x: np.ndarray, y: float) -> None:
+        """One RLS step: O(d^2), no matrix inversion."""
+        state = self._ensure_state(x.size)
+        p = state.p_matrix
+        px = p @ x
+        gain = px / (1.0 + x @ px)
+        error = y - float(state.weights @ x)
+        state.weights = state.weights + gain * error
+        state.p_matrix = p - np.outer(gain, px)
+        state.n_samples += 1
+        state.residual_sq_sum += error * error
+
+    # ------------------------------------------------------------- protocol
+    def estimate(self, job: Job, attempt: int = 0) -> float:
+        if attempt >= self.max_reduced_attempts:
+            return job.req_mem
+        state = self._state
+        if state is None or state.n_samples < self.min_samples:
+            return job.req_mem
+        x = self.feature_fn(job)
+        prediction = float(state.weights @ x)
+        requirement = prediction + self.safety_sigmas * state.residual_std
+        if self.log_target:
+            requirement = float(np.exp(requirement))
+        if requirement <= 0:
+            # A non-positive requirement is a sign the model is extrapolating
+            # badly for this job; fail safe to the request.
+            return job.req_mem
+        return clamp_to_request(requirement, job)
+
+    def observe(self, feedback: Feedback) -> None:
+        if feedback.used is None:
+            return  # regression needs explicit feedback (§4)
+        if not feedback.succeeded and feedback.granted < feedback.used:
+            # The recorded "usage" of a job killed for lack of memory is a
+            # lower bound, not the true requirement; learning from it would
+            # bias the model downward.  Skip (the resubmission will report
+            # a clean sample).
+            return
+        self._update(self.feature_fn(feedback.job), self._target(feedback.used))
+
+    def fit(self, workload: Workload) -> "RegressionEstimator":
+        """Warm-start offline from a historical trace with known usage."""
+        for job in workload:
+            self._update(self.feature_fn(job), self._target(job.used_mem))
+        return self
+
+    def reset(self) -> None:
+        self._state = None
+
+    # -------------------------------------------------------- introspection
+    @property
+    def n_samples(self) -> int:
+        return self._state.n_samples if self._state else 0
+
+    @property
+    def weights(self) -> Optional[np.ndarray]:
+        """Current model weights (None before any observation)."""
+        return None if self._state is None else self._state.weights.copy()
+
+    @property
+    def residual_std(self) -> float:
+        return self._state.residual_std if self._state else 0.0

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each ``figN``/``table1`` module exposes
+
+* a ``run(config) -> <FigNResult>`` function that performs the experiment,
+* a result dataclass with the exact series/rows the paper reports plus
+  ``format_table()`` (and, where a figure is a curve, ``format_chart()``),
+* a ``main()`` entry point (``python -m repro.experiments.fig5``).
+
+Scale is controlled by :class:`repro.experiments.config.ExperimentConfig`:
+the default trace length keeps every experiment laptop-fast; pass
+``ExperimentConfig.full()`` to rerun on the full 122k-job trace.
+
+Experiment index (DESIGN.md §4):
+
+====== ======================================================================
+FIG1   over-provisioning histogram + log-linear fit        (fig1)
+FIG3   similarity-group size distribution                  (fig3)
+FIG4   potential gain vs similarity range                  (fig4)
+FIG5   utilization vs load, with/without estimation        (fig5)
+FIG6   slowdown ratio vs load                              (fig6)
+FIG7   per-group estimate trajectory                       (fig7)
+FIG8   utilization ratio vs second-tier memory size        (fig8)
+TAB1   estimator taxonomy comparison                       (table1)
+====== ======================================================================
+"""
+
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,156 @@
+"""False-positive study — quantifying §2.1's feedback-quality discussion.
+
+The paper: implicit-feedback estimation "is more prone to false positive
+cases ... job failures due to faulty programming or faulty machines.  These
+failures might confuse the estimator to assume that the job failed due to
+too low (insufficient) estimated resources.  In the case of explicit
+feedback, however, such confusions can be avoided by comparing the resource
+capacities allocated to the job and the actual resource capacities used."
+
+This experiment injects spurious failures at increasing rates and measures
+how much of the estimation benefit survives for
+
+* plain Algorithm 1 (implicit feedback — confused by every crash),
+* Algorithm 1 with the explicit guard (crashes with granted >= used are
+  recognized as not-our-fault and ignored),
+* the no-estimation baseline (for reference; spurious failures hurt it too,
+  via wasted occupancy and retries).
+
+Not a numbered artifact of the paper — it is the quantitative version of a
+§2.1 paragraph, listed as an extension in DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core import NoEstimation, SuccessiveApproximation
+from repro.core.base import Estimator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.render import ascii_chart, format_table
+from repro.sim import FailureModel, Simulation, utilization
+from repro.sim.policies import Fcfs
+from repro.workload.transforms import scale_load
+
+
+@dataclass(frozen=True)
+class FalsePositivePoint:
+    spurious_prob: float
+    variant: str
+    utilization: float
+    frac_reduced: float
+    n_spurious: int
+
+
+@dataclass(frozen=True)
+class FalsePositiveResult:
+    points: List[FalsePositivePoint]
+    load: float
+
+    def series(self, variant: str) -> Tuple[List[float], List[float]]:
+        xs = [p.spurious_prob for p in self.points if p.variant == variant]
+        ys = [p.utilization for p in self.points if p.variant == variant]
+        return xs, ys
+
+    @property
+    def variants(self) -> List[str]:
+        seen: List[str] = []
+        for p in self.points:
+            if p.variant not in seen:
+                seen.append(p.variant)
+        return seen
+
+    def degradation(self, variant: str) -> float:
+        """Utilization lost between the clean and the noisiest setting."""
+        _, ys = self.series(variant)
+        if not ys or ys[0] <= 0:
+            return 0.0
+        return 1.0 - ys[-1] / ys[0]
+
+    def format_table(self) -> str:
+        rows = [
+            (
+                f"{p.spurious_prob:.2f}",
+                p.variant,
+                f"{p.utilization:.3f}",
+                f"{p.frac_reduced:.0%}",
+                p.n_spurious,
+            )
+            for p in self.points
+        ]
+        table = format_table(
+            ["spurious prob", "variant", "utilization", "reduced", "spurious fails"],
+            rows,
+            title=f"False-positive study (§2.1), load {self.load:g}",
+        )
+        summary = format_table(
+            ["variant", "utilization lost to noise"],
+            [(v, f"{self.degradation(v):.1%}") for v in self.variants],
+            title="Degradation, clean -> noisiest",
+        )
+        return table + "\n\n" + summary
+
+    def format_chart(self) -> str:
+        xs, _ = self.series(self.variants[0])
+        return ascii_chart(
+            xs,
+            {v: self.series(v)[1] for v in self.variants},
+            title="Utilization vs spurious-failure probability",
+        )
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    spurious_probs: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    load: float = 0.8,
+) -> FalsePositiveResult:
+    """Run the sweep over spurious-failure rates and estimator variants."""
+    cfg = config or ExperimentConfig()
+    workload = scale_load(cfg.make_sim_workload(), load)
+
+    variants: List[Tuple[str, Callable[[], Estimator]]] = [
+        ("implicit", lambda: SuccessiveApproximation(alpha=cfg.alpha, beta=cfg.beta)),
+        (
+            "explicit-guard",
+            lambda: SuccessiveApproximation(
+                alpha=cfg.alpha, beta=cfg.beta, explicit_guard=True
+            ),
+        ),
+        ("no-estimation", NoEstimation),
+    ]
+
+    points: List[FalsePositivePoint] = []
+    for prob in spurious_probs:
+        for name, factory in variants:
+            result = Simulation(
+                workload,
+                cfg.make_cluster(),
+                estimator=factory(),
+                policy=Fcfs(),
+                failure_model=FailureModel(
+                    rng=cfg.seed, spurious_failure_prob=prob
+                ),
+                collect_attempts=False,
+            ).run()
+            points.append(
+                FalsePositivePoint(
+                    spurious_prob=float(prob),
+                    variant=name,
+                    utilization=utilization(result),
+                    frac_reduced=result.frac_reduced_submissions,
+                    n_spurious=result.n_spurious_failures,
+                )
+            )
+    return FalsePositiveResult(points=points, load=load)
+
+
+def main() -> None:
+    result = run()
+    print(result.format_table())
+    print()
+    print(result.format_chart())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Trace-driven discrete-event simulator of the paper's scheduling model.
+
+§3.1 defines the simulation rules this package implements:
+
+* jobs arrive at their trace submission times and wait in a queue,
+* FCFS scheduling, no preemption (SJF and EASY backfilling are provided as
+  the extensions the paper defers to future work),
+* the matcher allocates ``procs`` nodes each with capacity >= the (possibly
+  estimated) per-node requirement,
+* a job granted insufficient resources "fails after a random time, drawn
+  uniformly between zero and the execution run-time of that job" and
+  "returns to the head of the queue",
+* after every execution attempt the estimator receives feedback.
+
+Entry points: :class:`repro.sim.engine.Simulation` (one run) and
+:func:`repro.sim.engine.simulate` (convenience), with metrics in
+:mod:`repro.sim.metrics`.
+"""
+
+from repro.sim.analysis import (
+    CapacityDecomposition,
+    QueueStats,
+    capacity_decomposition,
+    estimation_unlock_report,
+    queue_stats,
+    tier_utilization,
+)
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.failure import ExecutionOutcome, FailureModel
+from repro.sim.multi import (
+    MachineClass,
+    MultiCluster,
+    MultiJob,
+    MultiSimResult,
+    MultiSimulation,
+)
+from repro.sim.records import AttemptRecord, JobSummary, SimResult
+from repro.sim.policies import EasyBackfilling, Fcfs, Policy, ShortestJobFirst
+from repro.sim.engine import Simulation, simulate
+from repro.sim.metrics import (
+    SaturationPoint,
+    bounded_slowdown,
+    mean_slowdown,
+    mean_wait_time,
+    saturation_point,
+    saturation_utilization,
+    slowdown_percentile,
+    utilization,
+    wait_time_percentile,
+    wasted_fraction,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "CapacityDecomposition",
+    "EasyBackfilling",
+    "EventKind",
+    "EventQueue",
+    "ExecutionOutcome",
+    "FailureModel",
+    "Fcfs",
+    "JobSummary",
+    "MachineClass",
+    "MultiCluster",
+    "MultiJob",
+    "MultiSimResult",
+    "MultiSimulation",
+    "Policy",
+    "QueueStats",
+    "SaturationPoint",
+    "ShortestJobFirst",
+    "SimResult",
+    "Simulation",
+    "bounded_slowdown",
+    "capacity_decomposition",
+    "estimation_unlock_report",
+    "mean_slowdown",
+    "mean_wait_time",
+    "queue_stats",
+    "saturation_point",
+    "saturation_utilization",
+    "simulate",
+    "slowdown_percentile",
+    "tier_utilization",
+    "utilization",
+    "wait_time_percentile",
+    "wasted_fraction",
+]

@@ -1,0 +1,199 @@
+"""Post-run simulation analyses: where did the node-time actually go?
+
+The scalar metrics of :mod:`repro.sim.metrics` answer "how well did it do";
+this module answers "why": per-capacity-tier occupancy (which machines the
+estimator unlocked), the decomposition of lost capacity into idle-by-blocking
+vs. genuinely-idle vs. wasted-by-failures, and queue-dynamics summaries from
+the optional event timeline.
+
+These analyses power the ablation discussions in EXPERIMENTS.md — e.g. the
+Figure 5 baseline loses almost all of its second tier to the requirement
+mismatch, which is directly visible in :func:`tier_utilization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.sim.records import SimResult
+
+
+def tier_utilization(result: SimResult, cluster: Cluster) -> Dict[float, float]:
+    """Useful node-time per capacity level, as a fraction of that tier.
+
+    Requires the per-attempt trace (``collect_attempts=True``).  The paper's
+    mechanism is visible here: without estimation the small tier of the
+    Figure 5 cluster sits nearly idle; with estimation it fills up.
+    """
+    if not result.attempts and result.n_attempts:
+        raise ValueError(
+            "tier_utilization needs the per-attempt trace; run the simulation "
+            "with collect_attempts=True"
+        )
+    span = result.makespan
+    busy: Dict[float, float] = {lvl: 0.0 for lvl in cluster.ladder.levels}
+    for attempt in result.attempts:
+        if not attempt.succeeded:
+            continue
+        for level, count in attempt.allocation:
+            busy[level] = busy.get(level, 0.0) + attempt.duration * count
+    out: Dict[float, float] = {}
+    for level in cluster.ladder.levels:
+        capacity = cluster.total_at_level(level) * span
+        out[level] = busy.get(level, 0.0) / capacity if capacity > 0 else 0.0
+    return out
+
+
+@dataclass(frozen=True)
+class CapacityDecomposition:
+    """Where the machine's node-time went over the makespan.
+
+    ``useful + wasted + idle == 1`` (up to float error).  ``wasted`` is
+    occupancy by executions that later failed (the §3.2 cost of
+    under-estimation); ``idle`` is everything else — a mix of genuine lack
+    of work and the requirement mismatch the paper attacks.
+    """
+
+    useful: float
+    wasted: float
+    idle: float
+
+    def format_report(self) -> str:
+        return (
+            f"useful {self.useful:.1%} | wasted (failed executions) "
+            f"{self.wasted:.1%} | idle {self.idle:.1%}"
+        )
+
+
+def capacity_decomposition(result: SimResult) -> CapacityDecomposition:
+    """Split the machine's total node-time into useful / wasted / idle."""
+    span = result.makespan
+    total = result.total_nodes * span
+    if total <= 0:
+        return CapacityDecomposition(useful=0.0, wasted=0.0, idle=1.0)
+    useful = result.useful_node_seconds / total
+    wasted = result.wasted_node_seconds / total
+    return CapacityDecomposition(
+        useful=useful, wasted=wasted, idle=max(1.0 - useful - wasted, 0.0)
+    )
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Queue-dynamics summary from the event timeline."""
+
+    mean_queue_length: float
+    max_queue_length: int
+    mean_busy_nodes: float
+    #: Fraction of (event-weighted) time at least one job was waiting while
+    #: at least one node was free — the signature of requirement mismatch
+    #: (work exists, capacity exists, but they don't match).
+    frac_blocked_with_free_nodes: float
+
+
+def queue_stats(result: SimResult, total_nodes: Optional[int] = None) -> QueueStats:
+    """Summarize the queue/busy-node timeline (``record_timeline=True``).
+
+    Samples are weighted by the time until the next event, so long quiet
+    stretches count proportionally.
+    """
+    if not result.timeline:
+        raise ValueError(
+            "no timeline recorded; run the simulation with record_timeline=True"
+        )
+    nodes = total_nodes if total_nodes is not None else result.total_nodes
+    times = np.array([t for t, _, _ in result.timeline])
+    queue = np.array([q for _, q, _ in result.timeline], dtype=float)
+    busy = np.array([b for _, _, b in result.timeline], dtype=float)
+    # Duration-weight each sample by the gap to the next event.
+    gaps = np.diff(times, append=times[-1])
+    gaps = np.maximum(gaps, 0.0)
+    weight = gaps.sum()
+    if weight <= 0:
+        # Degenerate single-instant run: fall back to unweighted means.
+        gaps = np.ones_like(times)
+        weight = gaps.sum()
+    blocked = (queue > 0) & (busy < nodes)
+    return QueueStats(
+        mean_queue_length=float((queue * gaps).sum() / weight),
+        max_queue_length=int(queue.max()),
+        mean_busy_nodes=float((busy * gaps).sum() / weight),
+        frac_blocked_with_free_nodes=float((blocked * gaps).sum() / weight),
+    )
+
+
+@dataclass(frozen=True)
+class SizeClassStats:
+    """Wait/slowdown statistics for one job-size class."""
+
+    label: str
+    min_procs: int
+    max_procs: int
+    n_jobs: int
+    mean_wait: float
+    mean_slowdown: float
+
+
+def wait_by_size_class(
+    result: SimResult,
+    boundaries: Sequence[int] = (64, 256),
+) -> List[SizeClassStats]:
+    """Wait time and slowdown broken down by job size.
+
+    The paper's mechanism predicts size-dependent effects: big jobs
+    requesting the full node memory are the ones stuck queueing for the
+    large tier, so estimation should shorten *their* waits most.
+    ``boundaries`` split the proc axis into classes (default: <64, 64-255,
+    >=256).
+    """
+    edges = [0, *sorted(boundaries), 10**9]
+    stats: List[SizeClassStats] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        members = [
+            s for s in result.summaries
+            if s.completed and lo <= s.job.procs < hi
+        ]
+        label = f"{lo}-{hi - 1}" if hi < 10**9 else f">={lo}"
+        if not members:
+            stats.append(
+                SizeClassStats(
+                    label=label, min_procs=lo, max_procs=hi - 1, n_jobs=0,
+                    mean_wait=float("nan"), mean_slowdown=float("nan"),
+                )
+            )
+            continue
+        stats.append(
+            SizeClassStats(
+                label=label,
+                min_procs=lo,
+                max_procs=hi - 1,
+                n_jobs=len(members),
+                mean_wait=float(np.mean([s.wait_time for s in members])),
+                mean_slowdown=float(np.mean([s.slowdown for s in members])),
+            )
+        )
+    return stats
+
+
+def estimation_unlock_report(
+    base: SimResult, est: SimResult, cluster: Cluster
+) -> str:
+    """Side-by-side per-tier utilization: what estimation unlocked.
+
+    ``base`` and ``est`` should be runs of the same workload on equal
+    clusters with and without estimation.
+    """
+    base_tiers = tier_utilization(base, cluster)
+    est_tiers = tier_utilization(est, cluster)
+    lines = ["tier     | util (no est) | util (est) | unlocked"]
+    lines.append("---------+---------------+------------+---------")
+    for level in cluster.ladder.levels:
+        b, e = base_tiers[level], est_tiers[level]
+        lines.append(
+            f"{level:>6g}MB | {b:>13.3f} | {e:>10.3f} | {e - b:>+8.3f}"
+        )
+    return "\n".join(lines)

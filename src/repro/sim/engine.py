@@ -1,0 +1,379 @@
+"""The discrete-event simulation engine.
+
+One :class:`Simulation` object runs one (workload, cluster, estimator,
+policy) combination to completion and returns a
+:class:`~repro.sim.records.SimResult`.  The flow per §3.1 and Figure 2:
+
+1. **Arrival** — the job's requirement is estimated (Figure 2's estimation
+   phase precedes allocation) and the job joins the queue.
+2. **Scheduling pass** — the policy picks startable jobs; the matcher
+   allocates ``procs`` nodes of capacity >= requirement each.  The failure
+   model decides the attempt's fate up front (the engine knows the actual
+   usage; the *estimator* never sees it unless explicit feedback is on).
+3. **Completion** — nodes are released, the estimator receives
+   :class:`~repro.core.base.Feedback`, and a failed job re-enters **at the
+   head of the queue** with a fresh estimate (a new submission in Algorithm
+   1's terms).
+
+Infeasible submissions (no machine class can ever satisfy the requirement,
+e.g. more nodes than exist at the required capacity) are rejected at
+enqueue time rather than deadlocking an FCFS queue; the count is reported on
+the result.  With the paper's workloads this never triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Allocation, Cluster
+from repro.core.base import Estimator, Feedback
+from repro.core.baselines import NoEstimation
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.failure import ExecutionOutcome, FailureModel
+from repro.sim.policies import Fcfs, Policy, QueuedJob, RunningJob
+from repro.sim.records import AttemptRecord, JobSummary, SimResult
+from repro.util.rng import RngStream
+from repro.workload.job import Job, Workload
+
+
+@dataclass
+class _Execution:
+    """One in-flight execution attempt."""
+
+    entry: QueuedJob
+    allocation: Allocation
+    start_time: float
+    end_time: float
+    outcome: ExecutionOutcome
+
+
+@dataclass
+class _JobProgress:
+    """Accumulated state of one job across attempts."""
+
+    job: Job
+    first_submit: float
+    n_attempts: int = 0
+    n_resource_failures: int = 0
+    wasted_node_seconds: float = 0.0
+    completed: bool = False
+    final: Optional[AttemptRecord] = None
+
+
+class Simulation:
+    """One simulation run.  Not reusable: build a fresh instance per run."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        cluster: Cluster,
+        estimator: Optional[Estimator] = None,
+        policy: Optional[Policy] = None,
+        failure_model: Optional[FailureModel] = None,
+        seed: RngStream = 0,
+        collect_attempts: bool = True,
+        record_timeline: bool = False,
+        late_binding: bool = True,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        estimator:
+            Defaults to :class:`~repro.core.baselines.NoEstimation` — the
+            paper's "without resource estimation" configuration.
+        failure_model:
+            Defaults to the paper's uniform-failure-time model with no
+            spurious failures, seeded from ``seed``.
+        collect_attempts:
+            Keep the per-attempt trace (needed by trajectory analyses);
+            summaries and counters are always kept.
+        record_timeline:
+            Sample ``(time, queue_length, busy_nodes)`` after every event —
+            feeds the queue-dynamics analyses in :mod:`repro.sim.analysis`.
+        late_binding:
+            Refresh the queue head's requirement from the estimator at each
+            scheduling pass (estimation feeds the *matcher*, per Figure 2),
+            instead of freezing it at enqueue time.  See
+            :meth:`_schedule_pass`; disable to study the enqueue-time
+            binding's feedback starvation at deep queues.
+        """
+        self.workload = workload
+        self.cluster = cluster
+        self.estimator = estimator if estimator is not None else NoEstimation()
+        self.policy = policy if policy is not None else Fcfs()
+        self.failure_model = failure_model or FailureModel(rng=seed)
+        self.collect_attempts = collect_attempts
+        self.record_timeline = record_timeline
+        self.late_binding = late_binding
+        self._timeline: List[Tuple[float, int, int]] = []
+
+        self._events = EventQueue()
+        self._queue: List[QueuedJob] = []
+        self._running: Dict[int, _Execution] = {}
+        self._next_exec_id = 0
+        self._progress: Dict[int, _JobProgress] = {}
+        self._attempts: List[AttemptRecord] = []
+        self._rejected: List[Job] = []
+        # Counters kept even when the attempt trace is disabled.
+        self._counter = {
+            "attempts": 0,
+            "resource_failures": 0,
+            "spurious_failures": 0,
+            "reduced_submissions": 0,
+        }
+        self._useful_node_seconds = 0.0
+        self._wasted_node_seconds = 0.0
+        self._t_last_end = 0.0
+        self._ran = False
+
+    # ----------------------------------------------------------------- run
+    def run(self) -> SimResult:
+        """Execute the full workload and return the result."""
+        if self._ran:
+            raise RuntimeError("Simulation objects are single-use; create a new one")
+        self._ran = True
+
+        self.cluster.reset()
+        self.estimator.bind(self.cluster.ladder)
+
+        for job in self.workload:
+            self._events.push(job.submit_time, EventKind.ARRIVAL, job)
+
+        while self._events:
+            now, kind, payload = self._events.pop()
+            if kind is EventKind.ARRIVAL:
+                self._on_arrival(now, payload)
+            else:
+                self._on_completion(now, payload)
+            self._schedule_pass(now)
+            if self.record_timeline:
+                self._timeline.append(
+                    (now, len(self._queue), self.cluster.busy_nodes)
+                )
+
+        if self._queue:
+            # Every arrival and completion has fired, nodes are all free,
+            # yet jobs remain queued: they can never start (should have been
+            # rejected).  Guarded here so a policy bug cannot silently drop
+            # jobs.
+            raise RuntimeError(
+                f"{len(self._queue)} jobs stranded in the queue at end of trace"
+            )
+
+        return self._build_result()
+
+    # -------------------------------------------------------------- events
+    def _on_arrival(self, now: float, job: Job) -> None:
+        self._progress[job.job_id] = _JobProgress(job=job, first_submit=now)
+        self._enqueue(now, job, attempt=0, at_head=False)
+
+    def _enqueue(self, now: float, job: Job, attempt: int, at_head: bool) -> None:
+        requirement = self.estimator.estimate(job, attempt=attempt)
+        entry = QueuedJob(
+            job=job, attempt=attempt, requirement=requirement, enqueue_time=now
+        )
+        if not self.cluster.fits(job.procs, requirement):
+            # No machine class can ever hold this submission; an FCFS queue
+            # would deadlock behind it.  Reject rather than strand the queue.
+            self._rejected.append(job)
+            self._progress.pop(job.job_id, None)
+            return
+        if at_head:
+            self._queue.insert(0, entry)
+        else:
+            self._queue.append(entry)
+
+    def _on_completion(self, now: float, exec_id: int) -> None:
+        execution = self._running.pop(exec_id)
+        self.cluster.release(execution.allocation)
+        entry = execution.entry
+        outcome = execution.outcome
+        job = entry.job
+        progress = self._progress[job.job_id]
+
+        granted = execution.allocation.min_capacity
+        record = AttemptRecord(
+            job_id=job.job_id,
+            attempt=entry.attempt,
+            submit_time=entry.enqueue_time,
+            start_time=execution.start_time,
+            end_time=now,
+            procs=job.procs,
+            requirement=entry.requirement,
+            granted=granted,
+            succeeded=outcome.succeeded,
+            resource_failure=(not outcome.succeeded) and outcome.resource_related,
+            reduced=entry.requirement < job.req_mem,
+            allocation=tuple(sorted(execution.allocation.counts.items())),
+        )
+        if self.collect_attempts:
+            self._attempts.append(record)
+        self._t_last_end = max(self._t_last_end, now)
+
+        feedback = Feedback(
+            job=job,
+            succeeded=outcome.succeeded,
+            requirement=entry.requirement,
+            granted=granted,
+            used=job.used_mem,  # explicit-feedback estimators read it; others ignore
+            attempt=entry.attempt,
+        )
+        self.estimator.observe(feedback)
+
+        if outcome.succeeded:
+            progress.completed = True
+            progress.final = record
+            self._useful_node_seconds += record.node_seconds
+        else:
+            if outcome.resource_related:
+                progress.n_resource_failures += 1
+                self._counter["resource_failures"] += 1
+            else:
+                self._counter["spurious_failures"] += 1
+            progress.wasted_node_seconds += record.node_seconds
+            self._wasted_node_seconds += record.node_seconds
+            # §3.1: "Once it fails, the job returns to the head of the queue."
+            self._enqueue(now, job, attempt=entry.attempt + 1, at_head=True)
+
+    # ----------------------------------------------------------- scheduling
+    def _schedule_pass(self, now: float) -> None:
+        # Building the running-jobs view costs O(#running); only policies
+        # that plan reservations (backfilling) read it, so FCFS/SJF passes
+        # hand over an empty tuple.
+        needs_running = getattr(self.policy, "needs_running", False)
+        refresh = self.late_binding and not self.estimator.never_reduces()
+        while self._queue:
+            if refresh:
+                # Late binding (Figure 2 places estimation before *matching*,
+                # not before queueing): refresh the head's requirement with
+                # the group's latest knowledge.  Deep queues otherwise pin
+                # every waiting job to the estimate of its enqueue instant,
+                # starving the feedback loop at high load.  O(1) per pass;
+                # under FCFS every job binds at the head, so this is exact
+                # late binding for the paper's scheduling policy.
+                head = self._queue[0]
+                refreshed = self.estimator.estimate(head.job, attempt=head.attempt)
+                # A refresh may *raise* the requirement (the group backed off
+                # since enqueue); never raise it past what this cluster can
+                # ever satisfy for the job, or the queue would deadlock.
+                if refreshed != head.requirement and self.cluster.fits(
+                    head.job.procs, refreshed
+                ):
+                    head.requirement = refreshed
+            if needs_running:
+                running_view = [
+                    RunningJob(
+                        end_time=e.end_time,
+                        allocation=e.allocation,
+                        procs=e.entry.job.procs,
+                    )
+                    for e in self._running.values()
+                ]
+            else:
+                running_view = ()
+            idx = self.policy.select(now, self._queue, self.cluster, running_view)
+            if idx is None:
+                return
+            entry = self._queue.pop(idx)
+            self._start(now, entry)
+
+    def _start(self, now: float, entry: QueuedJob) -> None:
+        allocation = self.cluster.allocate(entry.job.procs, entry.requirement)
+        if allocation is None:
+            raise RuntimeError(
+                f"policy {self.policy.name} selected job {entry.job.job_id} "
+                f"but allocation failed — policy/matcher disagreement"
+            )
+        outcome = self.failure_model.outcome(entry.job, allocation.min_capacity)
+        end_time = now + outcome.duration
+        exec_id = self._next_exec_id
+        self._next_exec_id += 1
+        self._running[exec_id] = _Execution(
+            entry=entry,
+            allocation=allocation,
+            start_time=now,
+            end_time=end_time,
+            outcome=outcome,
+        )
+        progress = self._progress[entry.job.job_id]
+        progress.n_attempts += 1
+        self._counter["attempts"] += 1
+        if entry.requirement < entry.job.req_mem:
+            self._counter["reduced_submissions"] += 1
+        self._events.push(end_time, EventKind.COMPLETION, exec_id)
+
+    # -------------------------------------------------------------- result
+    def _build_result(self) -> SimResult:
+        summaries: List[JobSummary] = []
+        for progress in self._progress.values():
+            final = progress.final
+            if final is None:
+                # A job whose every attempt failed cannot happen: the retry
+                # guard eventually resubmits with the original request, which
+                # is sufficient by the paper's assumption — unless spurious
+                # failures are unlucky forever, whose probability is zero in
+                # finite traces because each retry re-rolls.  Guarded anyway.
+                raise RuntimeError(
+                    f"job {progress.job.job_id} finished the trace incomplete"
+                )
+            summaries.append(
+                JobSummary(
+                    job=progress.job,
+                    first_submit=progress.first_submit,
+                    start_time=final.start_time,
+                    end_time=final.end_time,
+                    n_attempts=progress.n_attempts,
+                    n_resource_failures=progress.n_resource_failures,
+                    completed=progress.completed,
+                    final_requirement=final.requirement,
+                    final_granted=final.granted,
+                    reduced=final.reduced,
+                    wasted_node_seconds=progress.wasted_node_seconds,
+                )
+            )
+        summaries.sort(key=lambda s: (s.first_submit, s.job.job_id))
+        t_first = summaries[0].first_submit if summaries else 0.0
+        return SimResult(
+            workload_name=self.workload.name,
+            cluster_name=self.cluster.name,
+            estimator_name=self.estimator.name,
+            policy_name=self.policy.name,
+            total_nodes=self.cluster.total_nodes,
+            attempts=self._attempts,
+            summaries=summaries,
+            rejected_jobs=self._rejected,
+            t_first_submit=t_first,
+            t_last_end=self._t_last_end,
+            n_attempts=self._counter["attempts"],
+            n_resource_failures=self._counter["resource_failures"],
+            n_spurious_failures=self._counter["spurious_failures"],
+            n_reduced_submissions=self._counter["reduced_submissions"],
+            useful_node_seconds=self._useful_node_seconds,
+            wasted_node_seconds=self._wasted_node_seconds,
+            timeline=self._timeline,
+        )
+
+
+def simulate(
+    workload: Workload,
+    cluster: Cluster,
+    estimator: Optional[Estimator] = None,
+    policy: Optional[Policy] = None,
+    seed: RngStream = 0,
+    spurious_failure_prob: float = 0.0,
+    collect_attempts: bool = True,
+) -> SimResult:
+    """Run one simulation with the paper's defaults (FCFS, no estimation).
+
+    Convenience wrapper over :class:`Simulation`; see its docstring.
+    """
+    return Simulation(
+        workload=workload,
+        cluster=cluster,
+        estimator=estimator,
+        policy=policy,
+        failure_model=FailureModel(rng=seed, spurious_failure_prob=spurious_failure_prob),
+        seed=seed,
+        collect_attempts=collect_attempts,
+    ).run()

@@ -1,0 +1,52 @@
+"""Event queue for the discrete-event engine.
+
+A thin, typed wrapper over :mod:`heapq`.  Ordering: by time, then by event
+kind (completions before arrivals at the same instant, so freed nodes are
+visible to a job arriving at exactly that moment), then by insertion
+sequence for determinism.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import IntEnum
+from typing import Any, List, Optional, Tuple
+
+
+class EventKind(IntEnum):
+    """Event types, ordered by same-time priority (lower fires first)."""
+
+    COMPLETION = 0
+    ARRIVAL = 1
+
+
+class EventQueue:
+    """A deterministic time/priority-ordered event heap."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: EventKind, payload: Any) -> None:
+        """Schedule ``payload`` to fire at ``time``."""
+        if time != time or time == float("inf"):  # NaN or unbounded
+            raise ValueError(f"event time must be finite, got {time!r}")
+        heapq.heappush(self._heap, (time, int(kind), self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, EventKind, Any]:
+        """Remove and return the next ``(time, kind, payload)``."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        time, kind, _seq, payload = heapq.heappop(self._heap)
+        return time, EventKind(kind), payload
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,163 @@
+"""Simulation records: per-attempt traces, per-job summaries, run results.
+
+The simulator records one :class:`AttemptRecord` per execution attempt (a job
+that fails and is resubmitted produces several) and folds them into one
+:class:`JobSummary` per job at the end of the run.  :class:`SimResult` is the
+container every metric and experiment consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.workload.job import Job
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One execution attempt of one job."""
+
+    job_id: int
+    attempt: int
+    submit_time: float  # when this attempt entered the queue
+    start_time: float
+    end_time: float
+    procs: int
+    requirement: float  # per-node capacity the estimator asked for
+    granted: float  # smallest per-node capacity actually allocated
+    succeeded: bool
+    resource_failure: bool  # failed because granted < used
+    reduced: bool  # requirement < the job's original request
+    #: nodes held per capacity level, e.g. ((24.0, 3), (32.0, 1)) — feeds the
+    #: per-tier occupancy analyses in :mod:`repro.sim.analysis`.
+    allocation: Tuple[Tuple[float, int], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def node_seconds(self) -> float:
+        return self.duration * self.procs
+
+
+@dataclass(frozen=True)
+class JobSummary:
+    """Outcome of one job across all its attempts."""
+
+    job: Job
+    first_submit: float
+    start_time: float  # start of the final (successful) attempt
+    end_time: float  # end of the final attempt
+    n_attempts: int
+    n_resource_failures: int
+    completed: bool
+    final_requirement: float
+    final_granted: float
+    reduced: bool  # completed with requirement < original request
+    wasted_node_seconds: float  # node-time burnt by failed attempts
+
+    @property
+    def response_time(self) -> float:
+        """First submission to final completion."""
+        return self.end_time - self.first_submit
+
+    @property
+    def wait_time(self) -> float:
+        """Response time minus the productive run (includes failed attempts)."""
+        return self.response_time - self.job.run_time
+
+    @property
+    def slowdown(self) -> float:
+        """(wait + run) / run — the paper's slowdown metric [5]."""
+        return self.response_time / self.job.run_time
+
+    def bounded_slowdown(self, threshold: float = 10.0) -> float:
+        """Slowdown with short jobs clamped to ``threshold`` seconds,
+        avoiding the metric being dominated by near-zero runtimes."""
+        return max(
+            self.response_time / max(self.job.run_time, threshold), 1.0
+        )
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run produced."""
+
+    workload_name: str
+    cluster_name: str
+    estimator_name: str
+    policy_name: str
+    total_nodes: int
+    attempts: List[AttemptRecord]
+    summaries: List[JobSummary]
+    rejected_jobs: List[Job]
+    t_first_submit: float
+    t_last_end: float
+    # Run-level counters, maintained by the engine even when the per-attempt
+    # trace is disabled (collect_attempts=False).
+    n_attempts: int = 0
+    n_resource_failures: int = 0
+    n_spurious_failures: int = 0
+    n_reduced_submissions: int = 0
+    useful_node_seconds: float = 0.0
+    wasted_node_seconds: float = 0.0
+    #: (time, queue_length, busy_nodes) samples, one per event — populated
+    #: only when the simulation ran with ``record_timeline=True``.
+    timeline: List[Tuple[float, int, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------- totals
+    @property
+    def makespan(self) -> float:
+        return max(self.t_last_end - self.t_first_submit, 0.0)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(1 for s in self.summaries if s.completed)
+
+    @property
+    def frac_reduced_submissions(self) -> float:
+        """Share of submissions made with less than the user's request
+        (§3.2: "15%-40% of jobs were successfully submitted ... with lower
+        estimated resources")."""
+        return self.n_reduced_submissions / self.n_attempts if self.n_attempts else 0.0
+
+    @property
+    def frac_failed_executions(self) -> float:
+        """Resource failures over all executions (§3.2: at most ~0.01%)."""
+        if not self.n_attempts:
+            return 0.0
+        return self.n_resource_failures / self.n_attempts
+
+    # ------------------------------------------------------------- arrays
+    def slowdowns(self) -> np.ndarray:
+        """Per-completed-job slowdown values."""
+        return np.array([s.slowdown for s in self.summaries if s.completed])
+
+    def wait_times(self) -> np.ndarray:
+        return np.array([s.wait_time for s in self.summaries if s.completed])
+
+    def summary_table(self) -> str:
+        """Human-readable one-run report."""
+        lines = [
+            f"workload   : {self.workload_name}",
+            f"cluster    : {self.cluster_name}",
+            f"estimator  : {self.estimator_name}",
+            f"policy     : {self.policy_name}",
+            f"jobs       : {self.n_jobs} ({self.n_completed} completed, "
+            f"{len(self.rejected_jobs)} rejected)",
+            f"attempts   : {self.n_attempts} "
+            f"({self.n_resource_failures} resource failures, "
+            f"{self.n_spurious_failures} spurious)",
+            f"reduced    : {self.frac_reduced_submissions:.1%} of submissions",
+            f"failed exec: {self.frac_failed_executions:.3%} of executions",
+            f"makespan   : {self.makespan:.0f}s",
+        ]
+        return "\n".join(lines)

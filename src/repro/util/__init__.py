@@ -1,0 +1,43 @@
+"""Shared utilities: units, deterministic RNG management, validation helpers.
+
+These are deliberately small and dependency-free so every other subpackage can
+use them without import cycles.
+"""
+
+from repro.util.units import (
+    KB_PER_MB,
+    MB,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_YEAR,
+    format_duration,
+    format_mb,
+    kb_to_mb,
+    mb_to_kb,
+)
+from repro.util.rng import RngStream, as_generator, spawn_children
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "KB_PER_MB",
+    "MB",
+    "RngStream",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_YEAR",
+    "as_generator",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "format_duration",
+    "format_mb",
+    "kb_to_mb",
+    "mb_to_kb",
+    "spawn_children",
+]

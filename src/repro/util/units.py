@@ -1,0 +1,55 @@
+"""Unit conventions and conversions used throughout the library.
+
+Conventions
+-----------
+* **Memory** is expressed in **megabytes (MB)** as floats.  The CM-5 machines
+  the paper simulates have 32 MB per node, and all of the paper's discussion is
+  in MB.  The Standard Workload Format (SWF) stores memory in kilobytes per
+  processor; :mod:`repro.workload.swf` converts at the boundary.
+* **Time** is expressed in **seconds** as floats, measured from the start of
+  the trace (t=0 at the first possible submission).
+* **Processors/nodes** are integer counts.
+"""
+
+from __future__ import annotations
+
+#: Kilobytes per megabyte (SWF stores memory in KB; we use MB internally).
+KB_PER_MB: int = 1024
+
+#: One megabyte, the unit quantum for memory values in this library.
+MB: float = 1.0
+
+SECONDS_PER_HOUR: int = 3600
+SECONDS_PER_DAY: int = 86_400
+SECONDS_PER_YEAR: int = 365 * SECONDS_PER_DAY
+
+
+def kb_to_mb(kb: float) -> float:
+    """Convert kilobytes to megabytes."""
+    return kb / KB_PER_MB
+
+
+def mb_to_kb(mb: float) -> float:
+    """Convert megabytes to kilobytes."""
+    return mb * KB_PER_MB
+
+
+def format_mb(mb: float) -> str:
+    """Render a memory amount for human-readable reports (``12.5MB``)."""
+    if mb == int(mb):
+        return f"{int(mb)}MB"
+    return f"{mb:.2f}MB"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly (``2d 03:04:05`` / ``03:04:05``)."""
+    seconds = float(seconds)
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    days, rem = divmod(int(round(seconds)), SECONDS_PER_DAY)
+    hours, rem = divmod(rem, SECONDS_PER_HOUR)
+    minutes, secs = divmod(rem, 60)
+    core = f"{hours:02d}:{minutes:02d}:{secs:02d}"
+    if days:
+        return f"{sign}{days}d {core}"
+    return f"{sign}{core}"

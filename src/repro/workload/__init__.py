@@ -1,0 +1,75 @@
+"""Workload substrate: job records, trace I/O, synthetic generation, analysis.
+
+The paper's experiments are driven by the LANL CM5 trace from the Parallel
+Workloads Archive.  This package provides
+
+* :class:`repro.workload.job.Job` — an SWF-compatible job record carrying both
+  *requested* and *actually used* resources (the pair at the heart of the
+  over-provisioning problem),
+* :mod:`repro.workload.swf` — a Standard Workload Format v2 reader/writer so a
+  real archive trace can be dropped in,
+* :mod:`repro.workload.synthetic` — a generator statistically calibrated to
+  the published LANL CM5 numbers (used because this environment has no network
+  access; see DESIGN.md §2),
+* :mod:`repro.workload.transforms` — load rescaling, filtering, subsampling,
+* :mod:`repro.workload.stats` — the over-provisioning analyses behind
+  Figure 1.
+"""
+
+from repro.workload.arrivals import retime_diurnal, retime_poisson
+from repro.workload.cleaning import Flurry, detect_flurries, inject_flurry, remove_flurries
+from repro.workload.job import Job, Workload
+from repro.workload.lanl_cm5 import LANL_CM5, TraceProfile, lanl_cm5_like
+from repro.workload.report import TraceReport, characterize
+from repro.workload.splitting import split_by_time
+from repro.workload.swf import read_swf, read_swf_text, write_swf, write_swf_text
+from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+from repro.workload.transforms import (
+    drop_full_machine_jobs,
+    head,
+    offered_load,
+    scale_load,
+    shift_to_zero,
+)
+from repro.workload.stats import (
+    OverprovisioningStats,
+    RegressionFit,
+    log_linear_fit,
+    overprovisioning_histogram,
+    overprovisioning_stats,
+    ratio_at_least,
+)
+
+__all__ = [
+    "Flurry",
+    "Job",
+    "LANL_CM5",
+    "OverprovisioningStats",
+    "RegressionFit",
+    "SyntheticTraceConfig",
+    "TraceProfile",
+    "TraceReport",
+    "Workload",
+    "characterize",
+    "detect_flurries",
+    "drop_full_machine_jobs",
+    "generate_trace",
+    "head",
+    "inject_flurry",
+    "lanl_cm5_like",
+    "log_linear_fit",
+    "offered_load",
+    "overprovisioning_histogram",
+    "overprovisioning_stats",
+    "ratio_at_least",
+    "read_swf",
+    "read_swf_text",
+    "remove_flurries",
+    "retime_diurnal",
+    "retime_poisson",
+    "scale_load",
+    "shift_to_zero",
+    "split_by_time",
+    "write_swf",
+    "write_swf_text",
+]

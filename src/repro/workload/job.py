@@ -1,0 +1,178 @@
+"""The :class:`Job` record and :class:`Workload` container.
+
+A job is a parallel program occupying ``procs`` nodes for ``run_time``
+seconds.  Each record carries the two memory figures the paper contrasts:
+
+* ``req_mem`` — per-node memory capacity the **user requested** (what a
+  conventional matcher must satisfy), and
+* ``used_mem`` — per-node memory the job **actually used** (what the job
+  really needed to complete).
+
+The paper's standing assumption (§1.3) is ``used_mem <= req_mem``: requests
+are never *under*-provisioned, only over-provisioned.  The record does not
+enforce this so that real traces with noisy accounting can still be loaded;
+:func:`Workload.overprovisioning_ratios` clips at 1 from below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Job:
+    """One job submission, SWF-field-compatible.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within the trace (SWF field 1).
+    submit_time:
+        Arrival time in seconds from trace start (SWF field 2).
+    run_time:
+        Actual execution time in seconds when run to completion (SWF field 4).
+    procs:
+        Number of nodes the job occupies (SWF fields 5/8; the paper does not
+        model over-provisioning of node counts, so requested == used here).
+    req_mem:
+        Requested memory per node, MB (SWF field 10, converted from KB).
+    used_mem:
+        Actually used memory per node, MB (SWF field 7, converted from KB).
+    req_time:
+        User's runtime estimate in seconds (SWF field 9); used by backfilling.
+    user_id / group_id / app_id:
+        Numeric identity fields (SWF fields 12/13/14).  ``(user_id, app_id,
+        req_mem)`` is the paper's similarity key for the LANL CM5 trace.
+    status:
+        SWF completion status of the *original* execution (1 = completed).
+    """
+
+    job_id: int
+    submit_time: float
+    run_time: float
+    procs: int
+    req_mem: float
+    used_mem: float
+    req_time: float = -1.0
+    user_id: int = -1
+    group_id: int = -1
+    app_id: int = -1
+    status: int = 1
+
+    def __post_init__(self) -> None:
+        check_non_negative("submit_time", self.submit_time)
+        check_positive("run_time", self.run_time)
+        if self.procs <= 0:
+            raise ValueError(f"procs must be a positive integer, got {self.procs!r}")
+        check_positive("req_mem", self.req_mem)
+        check_positive("used_mem", self.used_mem)
+
+    @property
+    def overprovisioning_ratio(self) -> float:
+        """Requested-to-used memory ratio (>= 1 when the paper's assumption holds)."""
+        return self.req_mem / self.used_mem
+
+    @property
+    def work(self) -> float:
+        """Node-seconds of useful work this job represents."""
+        return self.run_time * self.procs
+
+    @property
+    def runtime_estimate(self) -> float:
+        """Runtime bound available to the scheduler (req_time, else run_time)."""
+        return self.req_time if self.req_time > 0 else self.run_time
+
+    def with_submit_time(self, submit_time: float) -> "Job":
+        """Copy of this job arriving at a different time."""
+        return replace(self, submit_time=submit_time)
+
+
+@dataclass
+class Workload:
+    """An ordered collection of jobs plus the machine context they came from.
+
+    ``total_nodes`` and ``node_mem`` describe the *original* system the trace
+    was recorded on (for LANL CM5: 1024 nodes x 32 MB) — needed to reason
+    about full-machine jobs and offered load.
+    """
+
+    jobs: List[Job]
+    total_nodes: int = 0
+    node_mem: float = 0.0
+    name: str = "unnamed"
+
+    def __post_init__(self) -> None:
+        self.jobs = sorted(self.jobs, key=lambda j: (j.submit_time, j.job_id))
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, idx: int) -> Job:
+        return self.jobs[idx]
+
+    @property
+    def span(self) -> float:
+        """Seconds from first submission to last submission."""
+        if not self.jobs:
+            return 0.0
+        return self.jobs[-1].submit_time - self.jobs[0].submit_time
+
+    @property
+    def total_work(self) -> float:
+        """Sum of node-seconds across all jobs."""
+        return float(sum(j.work for j in self.jobs))
+
+    def filter(self, predicate: Callable[[Job], bool], name: Optional[str] = None) -> "Workload":
+        """New workload containing only jobs satisfying ``predicate``."""
+        return Workload(
+            [j for j in self.jobs if predicate(j)],
+            total_nodes=self.total_nodes,
+            node_mem=self.node_mem,
+            name=name or self.name,
+        )
+
+    def map(self, fn: Callable[[Job], Job], name: Optional[str] = None) -> "Workload":
+        """New workload with ``fn`` applied to every job."""
+        return Workload(
+            [fn(j) for j in self.jobs],
+            total_nodes=self.total_nodes,
+            node_mem=self.node_mem,
+            name=name or self.name,
+        )
+
+    def overprovisioning_ratios(self) -> np.ndarray:
+        """Per-job requested/used memory ratios, clipped at 1 from below."""
+        req = np.array([j.req_mem for j in self.jobs], dtype=float)
+        used = np.array([j.used_mem for j in self.jobs], dtype=float)
+        return np.maximum(req / used, 1.0)
+
+    def column(self, attr: str) -> np.ndarray:
+        """Extract one job attribute as a NumPy array (vectorized analyses)."""
+        return np.array([getattr(j, attr) for j in self.jobs])
+
+    @staticmethod
+    def from_jobs(
+        jobs: Iterable[Job],
+        total_nodes: int = 0,
+        node_mem: float = 0.0,
+        name: str = "unnamed",
+    ) -> "Workload":
+        return Workload(list(jobs), total_nodes=total_nodes, node_mem=node_mem, name=name)
+
+
+def validate_overprovisioning_assumption(jobs: Sequence[Job]) -> List[Job]:
+    """Return the jobs violating the paper's ``used <= requested`` assumption.
+
+    Real traces occasionally record usage above the request (accounting noise,
+    shared pages).  The estimators tolerate such jobs but will never reduce
+    their allocation below the request, so callers may wish to audit them.
+    """
+    return [j for j in jobs if j.used_mem > j.req_mem]

@@ -1,0 +1,90 @@
+"""Published characteristics of the LANL CM5 trace and a calibrated stand-in.
+
+The paper evaluates on the LANL CM5 log from the Parallel Workloads Archive:
+a Thinking Machines CM-5 with 1024 nodes x 32 MB, logging 122,055 jobs over
+roughly two years.  This module records every number the paper reports about
+that trace, both as documentation and as the calibration target for
+:func:`repro.workload.synthetic.generate_trace` (this environment cannot
+download the real trace; DESIGN.md §2 documents the substitution).
+
+If you *do* have the archive file, load it with
+:func:`repro.workload.swf.read_swf` — everything downstream is agnostic to
+whether the workload is real or synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.rng import RngStream
+from repro.util.units import SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Trace-level statistics the synthetic generator is calibrated against.
+
+    Each field corresponds to a number stated in the paper (section noted).
+    """
+
+    #: Total machine size (§3.1: "The CM-5 cluster had 1024 nodes").
+    total_nodes: int
+    #: Physical memory per node, MB (§3.1: "each with 32MB physical memory").
+    node_mem: float
+    #: Number of job records (§1.1: "a record of 122,055 jobs").
+    n_jobs: int
+    #: Trace duration (§1.1: "over approximately two years").
+    duration: float
+    #: Disjoint similarity groups under (user, app, req_mem) (§2.2: 9885).
+    n_groups: int
+    #: Fraction of jobs with requested/used >= 2 (§1.1 / Fig 1: ~32.8%).
+    frac_ratio_ge_2: float
+    #: Fraction of groups containing >= 10 jobs (§2.2 / Fig 4: 19.4%).
+    frac_groups_ge_10: float
+    #: Fraction of jobs living in groups of >= 10 (§2.2 / Fig 4: 83%).
+    frac_jobs_in_ge_10: float
+    #: R^2 of the log-histogram regression in Figure 1 (~0.69).
+    fig1_r2: float
+    #: Jobs needing the full machine, removed for the heterogeneous runs (§3.1: 6).
+    n_full_machine_jobs: int
+
+
+#: The LANL CM5 profile exactly as the paper describes it.
+LANL_CM5 = TraceProfile(
+    total_nodes=1024,
+    node_mem=32.0,
+    n_jobs=122_055,
+    duration=2 * SECONDS_PER_YEAR,
+    n_groups=9_885,
+    frac_ratio_ge_2=0.328,
+    frac_groups_ge_10=0.194,
+    frac_jobs_in_ge_10=0.83,
+    fig1_r2=0.69,
+    n_full_machine_jobs=6,
+)
+
+
+def lanl_cm5_like(
+    n_jobs: Optional[int] = None,
+    seed: RngStream = 0,
+):
+    """Generate a synthetic workload calibrated to the LANL CM5 statistics.
+
+    Parameters
+    ----------
+    n_jobs:
+        Trace length; defaults to the full 122,055 jobs.  Smaller values scale
+        the trace duration proportionally so the offered load is unchanged.
+    seed:
+        Seed or generator for reproducibility.
+
+    Returns
+    -------
+    repro.workload.job.Workload
+    """
+    # Imported here to avoid a circular import at package-init time.
+    from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+
+    config = SyntheticTraceConfig.lanl_cm5(n_jobs=n_jobs)
+    return generate_trace(config, rng=seed)

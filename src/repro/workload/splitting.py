@@ -1,0 +1,46 @@
+"""Train/test splitting of workloads by time.
+
+Offline estimator customization (the paper's §2.2 trial-and-error phase and
+the regression model's warm start) must be evaluated out-of-sample: fit on
+an earlier stretch of the trace, simulate on a later one.  Random splits
+would leak similarity-group futures into the training set, so the split is
+strictly temporal.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.util.validation import check_in_range
+from repro.workload.job import Workload
+from repro.workload.transforms import shift_to_zero
+
+
+def split_by_time(
+    workload: Workload,
+    train_fraction: float = 0.5,
+    rebase_test: bool = True,
+) -> Tuple[Workload, Workload]:
+    """Split at the submission-time quantile ``train_fraction``.
+
+    Returns ``(train, test)``.  With ``rebase_test`` (default) the test
+    part's submission times are shifted so its first job arrives at t=0,
+    ready for :func:`repro.workload.transforms.scale_load`.
+    """
+    check_in_range(
+        "train_fraction", train_fraction, 0.0, 1.0,
+        low_inclusive=False, high_inclusive=False,
+    )
+    if not workload.jobs:
+        raise ValueError("cannot split an empty workload")
+    t0 = workload.jobs[0].submit_time
+    cut = t0 + workload.span * train_fraction
+    train = workload.filter(
+        lambda j: j.submit_time <= cut, name=f"{workload.name}-train"
+    )
+    test = workload.filter(
+        lambda j: j.submit_time > cut, name=f"{workload.name}-test"
+    )
+    if rebase_test:
+        test = shift_to_zero(test)
+    return train, test

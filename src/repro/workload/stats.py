@@ -1,0 +1,153 @@
+"""Over-provisioning statistics — the analyses behind Figure 1.
+
+Figure 1 of the paper is a histogram of the per-job ratio between requested
+and used memory, on a logarithmic vertical axis, with a straight regression
+line whose fit (R^2 = 0.69) shows the histogram decays roughly exponentially
+with the ratio.  The headline observations are:
+
+* ~32.8% of jobs request at least twice what they use, and
+* the mismatch reaches two orders of magnitude.
+
+This module computes the histogram, the log-linear regression, and the
+summary statistics from any :class:`~repro.workload.job.Workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive
+from repro.workload.job import Workload
+
+
+@dataclass(frozen=True)
+class RegressionFit:
+    """Ordinary least-squares line ``y = slope * x + intercept`` with its R^2.
+
+    R^2 is the fraction of the variance of ``y`` explained by the line
+    (the paper's footnote 1: "A high R^2 (i.e., closer to 1) represents a
+    better fit").
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> RegressionFit:
+    """Least-squares straight-line fit with R^2.
+
+    Raises ``ValueError`` for fewer than two points (no line is defined).
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError(f"x and y must match in shape: {x_arr.shape} vs {y_arr.shape}")
+    if x_arr.size < 2:
+        raise ValueError("need at least two points for a regression line")
+    slope, intercept = np.polyfit(x_arr, y_arr, 1)
+    resid = y_arr - (slope * x_arr + intercept)
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return RegressionFit(float(slope), float(intercept), float(r2), int(x_arr.size))
+
+
+def overprovisioning_histogram(
+    workload: Workload,
+    bin_width: float = 5.0,
+    max_ratio: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of requested/used memory ratios (Figure 1's bars).
+
+    Returns ``(bin_centers, fraction_of_jobs)``; fractions sum to 1.  Bins
+    start at ratio 1 (the paper assumes requests never fall below usage).
+    """
+    check_positive("bin_width", bin_width)
+    ratios = workload.overprovisioning_ratios()
+    if ratios.size == 0:
+        raise ValueError("workload is empty")
+    top = max_ratio if max_ratio is not None else float(ratios.max())
+    top = max(top, 1.0 + bin_width)
+    edges = np.arange(1.0, top + bin_width, bin_width)
+    counts, edges = np.histogram(ratios, bins=edges)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, counts / ratios.size
+
+
+def log_linear_fit(
+    centers: np.ndarray,
+    fractions: np.ndarray,
+) -> RegressionFit:
+    """Figure 1's regression: fit ``log10(fraction)`` against the ratio.
+
+    Empty bins carry no information about the decay rate and are excluded
+    (log of zero is undefined).
+    """
+    centers = np.asarray(centers, dtype=float)
+    fractions = np.asarray(fractions, dtype=float)
+    mask = fractions > 0
+    if mask.sum() < 2:
+        raise ValueError("need at least two non-empty bins for the Figure 1 fit")
+    return linear_fit(centers[mask], np.log10(fractions[mask]))
+
+
+def ratio_at_least(workload: Workload, threshold: float) -> float:
+    """Fraction of jobs whose requested/used ratio is >= ``threshold``.
+
+    ``ratio_at_least(w, 2.0)`` is the paper's "approximately 32.8% of jobs
+    [with] a mismatch of twice or more".
+    """
+    check_positive("threshold", threshold)
+    ratios = workload.overprovisioning_ratios()
+    if ratios.size == 0:
+        raise ValueError("workload is empty")
+    return float(np.mean(ratios >= threshold))
+
+
+@dataclass(frozen=True)
+class OverprovisioningStats:
+    """Summary of a workload's over-provisioning, mirroring §1.1."""
+
+    n_jobs: int
+    frac_ratio_ge_2: float
+    max_ratio: float
+    median_ratio: float
+    mean_ratio: float
+    fit: RegressionFit
+
+    def format_report(self) -> str:
+        lines = [
+            f"jobs analysed             : {self.n_jobs}",
+            f"fraction with ratio >= 2  : {self.frac_ratio_ge_2:.1%}  (paper: ~32.8%)",
+            f"median ratio              : {self.median_ratio:.2f}",
+            f"mean ratio                : {self.mean_ratio:.2f}",
+            f"max ratio                 : {self.max_ratio:.1f}  (paper: ~2 orders of magnitude)",
+            f"log-hist regression R^2   : {self.fit.r_squared:.2f}  (paper: 0.69)",
+            f"log-hist regression slope : {self.fit.slope:.4f} per ratio unit",
+        ]
+        return "\n".join(lines)
+
+
+def overprovisioning_stats(
+    workload: Workload, bin_width: float = 5.0
+) -> OverprovisioningStats:
+    """Compute the full Figure 1 summary for a workload."""
+    ratios = workload.overprovisioning_ratios()
+    centers, fractions = overprovisioning_histogram(workload, bin_width=bin_width)
+    fit = log_linear_fit(centers, fractions)
+    return OverprovisioningStats(
+        n_jobs=int(ratios.size),
+        frac_ratio_ge_2=ratio_at_least(workload, 2.0),
+        max_ratio=float(ratios.max()),
+        median_ratio=float(np.median(ratios)),
+        mean_ratio=float(ratios.mean()),
+        fit=fit,
+    )

@@ -1,0 +1,248 @@
+"""Standard Workload Format (SWF) v2 reader/writer.
+
+The Parallel Workloads Archive distributes traces (including LANL CM5) in
+SWF: one whitespace-separated line per job with 18 integer fields, ``;``
+header comments.  Field reference (1-based, as in the archive docs):
+
+====  =========================================
+ 1    job number
+ 2    submit time (s)
+ 3    wait time (s)
+ 4    run time (s)
+ 5    number of allocated processors
+ 6    average CPU time used
+ 7    used memory (KB per processor)
+ 8    requested number of processors
+ 9    requested time (s)
+10    requested memory (KB per processor)
+11    status (1 = completed)
+12    user ID
+13    group ID
+14    executable (application) number
+15    queue number
+16    partition number
+17    preceding job number
+18    think time from preceding job
+====  =========================================
+
+The reader maps these onto :class:`repro.workload.job.Job`, converting memory
+from KB to MB, and skips jobs with missing run time, processor count, or
+memory fields (value ``-1``) since the paper's analysis needs all of
+requested memory, used memory, user and application identity.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.util.units import kb_to_mb, mb_to_kb
+from repro.workload.job import Job, Workload
+
+#: Number of data fields in an SWF record.
+SWF_FIELDS = 18
+
+
+@dataclass
+class SwfParseReport:
+    """What the reader kept and why it dropped the rest."""
+
+    total_lines: int = 0
+    comment_lines: int = 0
+    parsed_jobs: int = 0
+    skipped_missing_fields: int = 0
+    skipped_malformed: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"SWF parse: {self.parsed_jobs} jobs kept, "
+            f"{self.skipped_missing_fields} skipped (missing fields), "
+            f"{self.skipped_malformed} skipped (malformed), "
+            f"{self.comment_lines} comment lines"
+        )
+
+
+def _parse_header_value(line: str, key: str) -> Optional[str]:
+    # Header lines look like ";  MaxNodes: 1024" (case-insensitive key match).
+    body = line.lstrip(";").strip()
+    if body.lower().startswith(key.lower() + ":"):
+        return body.split(":", 1)[1].strip()
+    return None
+
+
+def read_swf_text(
+    text: str,
+    name: str = "swf",
+    require_memory: bool = True,
+) -> Tuple[Workload, SwfParseReport]:
+    """Parse SWF content from a string.
+
+    Parameters
+    ----------
+    require_memory:
+        When True (default), jobs lacking either requested or used memory are
+        skipped — the over-provisioning analysis is meaningless without both.
+        When False, missing memory fields are filled with 1 MB placeholders.
+    """
+    report = SwfParseReport()
+    jobs: List[Job] = []
+    max_nodes = 0
+    node_mem = 0.0
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        report.total_lines += 1
+        if not line:
+            continue
+        if line.startswith(";"):
+            report.comment_lines += 1
+            v = _parse_header_value(line, "MaxNodes") or _parse_header_value(line, "MaxProcs")
+            if v:
+                try:
+                    max_nodes = max(max_nodes, int(v.split()[0]))
+                except ValueError:
+                    pass
+            v = _parse_header_value(line, "MaxMemory")
+            if v:
+                try:
+                    node_mem = kb_to_mb(float(v.split()[0]))
+                except ValueError:
+                    pass
+            continue
+
+        parts = line.split()
+        if len(parts) < SWF_FIELDS:
+            report.skipped_malformed += 1
+            continue
+        try:
+            fields = [float(p) for p in parts[:SWF_FIELDS]]
+        except ValueError:
+            report.skipped_malformed += 1
+            continue
+
+        (
+            job_id,
+            submit,
+            _wait,
+            run,
+            procs,
+            _avg_cpu,
+            used_mem_kb,
+            req_procs,
+            req_time,
+            req_mem_kb,
+            status,
+            user,
+            group,
+            app,
+            _queue,
+            _partition,
+            _prec,
+            _think,
+        ) = fields
+
+        nprocs = int(procs) if procs > 0 else int(req_procs)
+        if run <= 0 or nprocs <= 0 or submit < 0:
+            report.skipped_missing_fields += 1
+            continue
+        if require_memory and (used_mem_kb <= 0 or req_mem_kb <= 0):
+            report.skipped_missing_fields += 1
+            continue
+
+        used_mem = kb_to_mb(used_mem_kb) if used_mem_kb > 0 else 1.0
+        req_mem = kb_to_mb(req_mem_kb) if req_mem_kb > 0 else max(used_mem, 1.0)
+
+        jobs.append(
+            Job(
+                job_id=int(job_id),
+                submit_time=submit,
+                run_time=run,
+                procs=nprocs,
+                req_mem=req_mem,
+                used_mem=used_mem,
+                req_time=req_time,
+                user_id=int(user),
+                group_id=int(group),
+                app_id=int(app),
+                status=int(status),
+            )
+        )
+        report.parsed_jobs += 1
+
+    return Workload(jobs, total_nodes=max_nodes, node_mem=node_mem, name=name), report
+
+
+def read_swf(
+    path: Union[str, os.PathLike],
+    require_memory: bool = True,
+) -> Tuple[Workload, SwfParseReport]:
+    """Read an SWF file from disk (transparently gunzipping ``.gz`` files —
+    the Parallel Workloads Archive distributes traces gzipped).
+    See :func:`read_swf_text`."""
+    if str(path).endswith(".gz"):
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    else:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    return read_swf_text(text, name=os.path.basename(str(path)), require_memory=require_memory)
+
+
+def write_swf_text(workload: Workload, header_comments: Sequence[str] = ()) -> str:
+    """Serialize a workload to SWF text (inverse of :func:`read_swf_text`).
+
+    Times are written as integers when integral (the archive convention) and
+    with full float precision otherwise, so a read/write round trip preserves
+    job content.
+    """
+
+    def num(x: float) -> str:
+        if float(x) == int(x):
+            return str(int(x))
+        return repr(float(x))
+
+    lines: List[str] = []
+    lines.append(f"; Generated by repro.workload.swf ({workload.name})")
+    if workload.total_nodes:
+        lines.append(f"; MaxNodes: {workload.total_nodes}")
+    if workload.node_mem:
+        lines.append(f"; MaxMemory: {int(mb_to_kb(workload.node_mem))}")
+    for comment in header_comments:
+        lines.append(f"; {comment}")
+
+    for j in workload:
+        fields = [
+            num(j.job_id),
+            num(j.submit_time),
+            "-1",  # wait time: an output of scheduling, not part of the input trace
+            num(j.run_time),
+            num(j.procs),
+            "-1",  # average CPU time
+            num(mb_to_kb(j.used_mem)),
+            num(j.procs),
+            num(j.req_time),
+            num(mb_to_kb(j.req_mem)),
+            num(j.status),
+            num(j.user_id),
+            num(j.group_id),
+            num(j.app_id),
+            "-1",
+            "-1",
+            "-1",
+            "-1",
+        ]
+        lines.append(" ".join(fields))
+    return "\n".join(lines) + "\n"
+
+
+def write_swf(
+    workload: Workload,
+    path: Union[str, os.PathLike],
+    header_comments: Iterable[str] = (),
+) -> None:
+    """Write a workload to an SWF file on disk."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(write_swf_text(workload, tuple(header_comments)))

@@ -1,0 +1,153 @@
+"""Cluster builders and the Figure 8 design tool.
+
+``stable_level`` is checked against the paper's own worked examples — they
+are the ground truth for how Algorithm 1's dynamics interact with a capacity
+ladder.
+"""
+
+import pytest
+
+from repro.cluster.builder import (
+    best_second_tier,
+    design_second_tier,
+    homogeneous,
+    paper_cluster,
+    stable_level,
+    two_tier,
+)
+from repro.cluster.ladder import CapacityLadder
+from tests.conftest import make_job, make_workload
+
+
+class TestConstructors:
+    def test_homogeneous(self):
+        c = homogeneous(1024, 32.0)
+        assert c.total_nodes == 1024
+        assert c.ladder.levels == (32.0,)
+
+    def test_two_tier(self):
+        c = two_tier(512, 32.0, 512, 24.0)
+        assert c.total_at_level(32.0) == 512
+        assert c.total_at_level(24.0) == 512
+
+    def test_paper_cluster_default(self):
+        c = paper_cluster()
+        assert c.ladder.levels == (24.0, 32.0)
+
+    def test_paper_cluster_homogeneous_at_32(self):
+        c = paper_cluster(32.0)
+        assert c.ladder.levels == (32.0,)
+        assert c.total_nodes == 1024
+
+    def test_paper_cluster_rejects_oversized_tier(self):
+        with pytest.raises(ValueError):
+            paper_cluster(33.0)
+        with pytest.raises(ValueError):
+            paper_cluster(0.0)
+
+
+class TestStableLevel:
+    """The paper's worked examples, §2.3 and §3.2."""
+
+    def test_section_2_3_alpha_2_settles_on_24(self):
+        # Jobs request 32MB, use 4MB; machines {32, 24, 4}; alpha=2:
+        # the paper walks 32 -> (est 16, runs on 24) and notes the 4MB
+        # machines are never reached because the next step overshoots.
+        ladder = CapacityLadder([4.0, 24.0, 32.0])
+        assert stable_level(32.0, 4.0, ladder, alpha=2.0) == 24.0
+
+    def test_section_2_3_alpha_10_reaches_4mb(self):
+        # Same class with alpha=10: 32 -> 3.2 -> rounds up to the 4MB machines.
+        ladder = CapacityLadder([4.0, 24.0, 32.0])
+        assert stable_level(32.0, 4.0, ladder, alpha=10.0) == 4.0
+
+    def test_section_2_3_alpha_10_usage_5mb_reverts(self):
+        # "problematic if the actual memory used was 5MB instead of 4MB,
+        # because the estimation will revert back to 32MB"
+        ladder = CapacityLadder([4.0, 24.0, 32.0])
+        assert stable_level(32.0, 5.0, ladder, alpha=10.0) == 32.0
+
+    def test_section_3_2_request_20_alpha_2_reaches_15mb(self):
+        # Job requests 20MB, uses 10MB, machines {30, 15}: with alpha=2 the
+        # job "could also be run on the machines with the 15MB memory".
+        ladder = CapacityLadder([15.0, 30.0])
+        assert stable_level(20.0, 10.0, ladder, alpha=2.0) == 15.0
+
+    def test_section_3_2_request_20_alpha_1_2_stuck(self):
+        # With alpha=1.2 the reduction 20/1.2=16.7 overshoots the 15MB tier.
+        ladder = CapacityLadder([15.0, 30.0])
+        assert stable_level(20.0, 10.0, ladder, alpha=1.2) == 30.0
+
+    def test_figure_8_sixteen_mb_wall(self):
+        # Two-tier {m, 32} with a 32MB request: the small tier is reachable
+        # iff 32/alpha <= m.  With alpha=2, m=16 works and m=15 does not.
+        assert stable_level(32.0, 4.0, CapacityLadder([16.0, 32.0]), 2.0) == 16.0
+        assert stable_level(32.0, 4.0, CapacityLadder([15.0, 32.0]), 2.0) == 32.0
+
+    def test_figure_7_trajectory_endpoint(self):
+        # Requested 32, actual ~5.2 on the rich ladder: settles at 8MB.
+        ladder = CapacityLadder([4.0, 8.0, 16.0, 24.0, 32.0])
+        assert stable_level(32.0, 5.2, ladder, alpha=2.0) == 8.0
+
+    def test_usage_above_every_level(self):
+        assert stable_level(32.0, 40.0, CapacityLadder([24.0, 32.0]), 2.0) is None
+
+    def test_usage_above_request_but_fits_ladder(self):
+        # Violates the paper's assumption: the request rounds up and holds.
+        assert stable_level(20.0, 25.0, CapacityLadder([15.0, 30.0]), 2.0) == 30.0
+
+    def test_alpha_close_to_one_terminates(self):
+        ladder = CapacityLadder([1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+        level = stable_level(32.0, 1.5, ladder, alpha=1.001)
+        assert level is not None
+        assert level >= 1.5
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            stable_level(32.0, 4.0, CapacityLadder([32.0]), alpha=0.0)
+
+
+class TestDesignSecondTier:
+    def make_trace(self):
+        # 10 jobs requesting 32 using 4 (benefit when m >= 16),
+        # 5 jobs requesting 32 using 20 (benefit only when m >= 20),
+        # 5 jobs requesting 8 (already eligible below, never "benefit").
+        jobs = (
+            [make_job(job_id=i, req_mem=32.0, used_mem=4.0, procs=32) for i in range(10)]
+            + [make_job(job_id=100 + i, req_mem=32.0, used_mem=20.0, procs=64) for i in range(5)]
+            + [make_job(job_id=200 + i, req_mem=8.0, used_mem=2.0, procs=16) for i in range(5)]
+        )
+        return make_workload(jobs)
+
+    def test_below_wall_no_benefit(self):
+        choices = design_second_tier(self.make_trace(), [8.0], alpha=2.0)
+        assert choices[0].benefiting_node_count == 0
+        assert choices[0].blocked_by_alpha > 0
+
+    def test_at_wall_benefit_appears(self):
+        (choice,) = design_second_tier(self.make_trace(), [16.0], alpha=2.0)
+        assert choice.benefiting_jobs == 10
+        assert choice.benefiting_node_count == 320
+        assert choice.oversized_usage == 5  # the 20MB users
+
+    def test_larger_tier_catches_more(self):
+        (choice,) = design_second_tier(self.make_trace(), [20.0], alpha=2.0)
+        assert choice.benefiting_jobs == 15
+        assert choice.benefiting_node_count == 320 + 320
+
+    def test_monotone_in_band(self):
+        choices = design_second_tier(self.make_trace(), [16.0, 20.0, 24.0], alpha=2.0)
+        counts = [c.benefiting_node_count for c in choices]
+        assert counts == sorted(counts)
+
+    def test_best_second_tier(self):
+        choices = design_second_tier(self.make_trace(), [8.0, 16.0, 20.0], alpha=2.0)
+        assert best_second_tier(choices).second_tier_mem == 20.0
+
+    def test_best_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_second_tier([])
+
+    def test_candidate_above_first_tier_rejected(self):
+        with pytest.raises(ValueError):
+            design_second_tier(self.make_trace(), [40.0])

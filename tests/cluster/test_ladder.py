@@ -1,0 +1,107 @@
+"""Capacity ladder: the rounding operator of Algorithm 1 line 6."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ladder import CapacityLadder
+
+levels_strategy = st.lists(
+    st.floats(min_value=0.5, max_value=128.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestConstruction:
+    def test_sorted_unique(self):
+        ladder = CapacityLadder([32.0, 24.0, 32.0, 4.0])
+        assert ladder.levels == (4.0, 24.0, 32.0)
+
+    def test_min_max(self):
+        ladder = CapacityLadder([24.0, 32.0])
+        assert ladder.min == 24.0
+        assert ladder.max == 32.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityLadder([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityLadder([0.0, 32.0])
+
+    def test_contains(self):
+        ladder = CapacityLadder([24.0, 32.0])
+        assert 24.0 in ladder
+        assert 16.0 not in ladder
+
+    def test_len(self):
+        assert len(CapacityLadder([1, 2, 3])) == 3
+
+
+class TestRoundUp:
+    def test_paper_example_alpha_10(self):
+        # §2.3: with alpha=10, the estimate 3.2MB rounds up to the 4MB machines.
+        ladder = CapacityLadder([4.0, 24.0, 32.0])
+        assert ladder.round_up(3.2) == 4.0
+
+    def test_exact_level_maps_to_itself(self):
+        ladder = CapacityLadder([4.0, 24.0, 32.0])
+        assert ladder.round_up(24.0) == 24.0
+
+    def test_between_levels(self):
+        ladder = CapacityLadder([4.0, 24.0, 32.0])
+        assert ladder.round_up(16.0) == 24.0
+
+    def test_above_max_is_none(self):
+        assert CapacityLadder([32.0]).round_up(33.0) is None
+
+    def test_below_min_rounds_to_min(self):
+        assert CapacityLadder([4.0, 32.0]).round_up(0.1) == 4.0
+
+
+class TestRoundDown:
+    def test_basic(self):
+        ladder = CapacityLadder([4.0, 24.0, 32.0])
+        assert ladder.round_down(30.0) == 24.0
+        assert ladder.round_down(4.0) == 4.0
+
+    def test_below_min_is_none(self):
+        assert CapacityLadder([4.0]).round_down(3.9) is None
+
+
+class TestLevelsAtLeast:
+    def test_subset(self):
+        ladder = CapacityLadder([4.0, 24.0, 32.0])
+        assert ladder.levels_at_least(16.0) == (24.0, 32.0)
+        assert ladder.levels_at_least(4.0) == (4.0, 24.0, 32.0)
+        assert ladder.levels_at_least(33.0) == ()
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(levels_strategy, st.floats(min_value=0.1, max_value=200.0, allow_nan=False))
+    def test_round_up_is_lowest_adequate_level(self, levels, value):
+        ladder = CapacityLadder(levels)
+        result = ladder.round_up(value)
+        adequate = [lvl for lvl in ladder.levels if lvl >= value]
+        assert result == (min(adequate) if adequate else None)
+
+    @settings(max_examples=50, deadline=None)
+    @given(levels_strategy, st.floats(min_value=0.1, max_value=200.0, allow_nan=False))
+    def test_round_up_down_bracket_value(self, levels, value):
+        ladder = CapacityLadder(levels)
+        up, down = ladder.round_up(value), ladder.round_down(value)
+        if up is not None:
+            assert up >= value
+        if down is not None:
+            assert down <= value
+        if up is not None and down is not None:
+            assert down <= up
+
+    @settings(max_examples=50, deadline=None)
+    @given(levels_strategy)
+    def test_round_up_is_idempotent_on_levels(self, levels):
+        ladder = CapacityLadder(levels)
+        for lvl in ladder.levels:
+            assert ladder.round_up(lvl) == lvl

@@ -1,0 +1,130 @@
+"""Multi-tier ladder design optimizer (generalized Figure 8 tool)."""
+
+import pytest
+
+from repro.cluster.builder import design_ladder, evaluate_ladder
+from tests.conftest import make_job, make_workload
+
+
+def trace_two_populations():
+    """Heavy 32MB requesters using ~4MB, plus genuine 28MB users."""
+    jobs = [
+        make_job(
+            job_id=i,
+            submit_time=float(i),
+            run_time=100.0,
+            procs=32,
+            req_mem=32.0,
+            used_mem=4.0,
+            user_id=i % 5,
+        )
+        for i in range(40)
+    ]
+    jobs += [
+        make_job(
+            job_id=100 + i,
+            submit_time=float(i),
+            run_time=100.0,
+            procs=32,
+            req_mem=32.0,
+            used_mem=28.0,
+            user_id=10 + i % 3,
+        )
+        for i in range(10)
+    ]
+    return make_workload(jobs)
+
+
+class TestEvaluateLadder:
+    def test_homogeneous_always_feasible(self):
+        design = evaluate_ladder(trace_two_populations(), [32.0], 1024)
+        assert design.sustainable_load > 0
+        assert design.levels == (32.0,)
+
+    def test_demand_fractions_sum_to_one_when_servable(self):
+        design = evaluate_ladder(trace_two_populations(), [16.0, 32.0], 1024)
+        assert sum(f for _, f in design.demand_by_level) == pytest.approx(1.0)
+
+    def test_low_tier_attracts_reducible_demand(self):
+        design = evaluate_ladder(trace_two_populations(), [16.0, 32.0], 1024)
+        demand = dict(design.demand_by_level)
+        # The 4MB users settle on the 16MB tier; the 28MB users stay on 32.
+        assert demand[16.0] == pytest.approx(0.8)
+        assert demand[32.0] == pytest.approx(0.2)
+
+    def test_unreachable_tier_gets_no_demand(self):
+        # 15MB tier is behind the alpha wall for 32MB requests (32/2 = 16).
+        design = evaluate_ladder(trace_two_populations(), [15.0, 32.0], 1024)
+        demand = dict(design.demand_by_level)
+        assert demand[15.0] == 0.0
+        # All work lands on half the nodes: sustainable load is poor.
+        balanced = evaluate_ladder(trace_two_populations(), [16.0, 32.0], 1024)
+        assert design.sustainable_load < balanced.sustainable_load
+
+    def test_infeasible_usage_zeroes_the_design(self):
+        w = make_workload([make_job(req_mem=32.0, used_mem=30.0, procs=8)])
+        design = evaluate_ladder(w, [16.0], 1024)
+        assert design.sustainable_load == 0.0
+
+    def test_validation(self):
+        w = trace_two_populations()
+        with pytest.raises(ValueError):
+            evaluate_ladder(w, [], 1024)
+        with pytest.raises(ValueError):
+            evaluate_ladder(w, [32.0], 0)
+        with pytest.raises(ValueError):
+            evaluate_ladder(make_workload([]), [32.0], 1024)
+
+
+class TestDesignLadder:
+    def test_ranks_by_sustainable_load(self):
+        designs = design_ladder(
+            trace_two_populations(),
+            candidate_levels=[8.0, 15.0, 16.0, 24.0, 32.0],
+            n_tiers=2,
+            total_nodes=1024,
+        )
+        loads = [d.sustainable_load for d in designs]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_best_design_beats_alpha_walled_one(self):
+        designs = design_ladder(
+            trace_two_populations(),
+            candidate_levels=[15.0, 16.0, 32.0],
+            n_tiers=2,
+            total_nodes=1024,
+        )
+        by_levels = {d.levels: d for d in designs}
+        assert (
+            by_levels[(16.0, 32.0)].sustainable_load
+            > by_levels[(15.0, 32.0)].sustainable_load
+        )
+
+    def test_must_include_max(self):
+        designs = design_ladder(
+            trace_two_populations(),
+            candidate_levels=[16.0, 24.0, 32.0],
+            n_tiers=2,
+            total_nodes=1024,
+        )
+        assert all(32.0 in d.levels for d in designs)
+
+    def test_all_subsets_without_max_constraint(self):
+        designs = design_ladder(
+            trace_two_populations(),
+            candidate_levels=[16.0, 24.0, 32.0],
+            n_tiers=2,
+            total_nodes=1024,
+            must_include_max=False,
+        )
+        assert len(designs) == 3  # C(3,2)
+
+    def test_invalid_n_tiers(self):
+        with pytest.raises(ValueError):
+            design_ladder(trace_two_populations(), [32.0], n_tiers=2, total_nodes=64)
+
+    def test_single_tier_search(self):
+        designs = design_ladder(
+            trace_two_populations(), [16.0, 32.0], n_tiers=1, total_nodes=64
+        )
+        assert designs[0].levels == (32.0,)

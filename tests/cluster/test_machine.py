@@ -1,0 +1,34 @@
+"""Machine records."""
+
+import pytest
+
+from repro.cluster.machine import Machine
+
+
+class TestMachine:
+    def test_basic(self):
+        m = Machine(machine_id=1, mem=32.0)
+        assert m.capacity() == 32.0
+        assert m.capacity("mem") == 32.0
+
+    def test_extra_resources(self):
+        m = Machine(machine_id=1, mem=32.0, resources={"disk": 2048.0})
+        assert m.capacity("disk") == 2048.0
+
+    def test_unknown_resource(self):
+        m = Machine(machine_id=1, mem=32.0)
+        with pytest.raises(KeyError, match="disk"):
+            m.capacity("disk")
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            Machine(machine_id=1, mem=0.0)
+
+    def test_invalid_extra_resource(self):
+        with pytest.raises(ValueError):
+            Machine(machine_id=1, mem=32.0, resources={"disk": -1.0})
+
+    def test_frozen(self):
+        m = Machine(machine_id=1, mem=32.0)
+        with pytest.raises(Exception):
+            m.mem = 16.0  # type: ignore[misc]

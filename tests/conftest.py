@@ -1,0 +1,115 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster, paper_cluster
+from repro.workload import Workload, drop_full_machine_jobs, lanl_cm5_like, scale_load
+from repro.workload.job import Job
+
+
+def make_job(
+    job_id: int = 1,
+    submit_time: float = 0.0,
+    run_time: float = 100.0,
+    procs: int = 32,
+    req_mem: float = 32.0,
+    used_mem: float = 8.0,
+    req_time: float = -1.0,
+    user_id: int = 1,
+    app_id: int = 1,
+) -> Job:
+    """A job with sensible defaults; override what the test cares about."""
+    return Job(
+        job_id=job_id,
+        submit_time=submit_time,
+        run_time=run_time,
+        procs=procs,
+        req_mem=req_mem,
+        used_mem=used_mem,
+        req_time=req_time,
+        user_id=user_id,
+        app_id=app_id,
+    )
+
+
+def make_workload(jobs: Sequence[Job], total_nodes: int = 1024, node_mem: float = 32.0) -> Workload:
+    return Workload(list(jobs), total_nodes=total_nodes, node_mem=node_mem, name="test")
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Workload:
+    """A calibrated synthetic trace, small enough for fast tests."""
+    return lanl_cm5_like(n_jobs=4000, seed=0)
+
+
+@pytest.fixture(scope="session")
+def sim_trace(small_trace: Workload) -> Workload:
+    """The small trace prepared as in §3.1: full-machine jobs removed,
+    rescaled to a saturating offered load."""
+    return scale_load(drop_full_machine_jobs(small_trace), 0.8)
+
+
+@pytest.fixture()
+def two_tier_cluster() -> Cluster:
+    """The paper's Figure 5 cluster (fresh per test; clusters are stateful)."""
+    return paper_cluster(24.0)
+
+
+# ----------------------------------------------------------------- strategies
+def job_strategy(
+    max_procs: int = 64,
+    mem_levels: Sequence[float] = (4.0, 8.0, 16.0, 24.0, 32.0),
+) -> st.SearchStrategy[Job]:
+    """Random valid jobs with used <= requested (the paper's assumption)."""
+
+    def build(job_id, submit, run, procs, req_mem, frac_used, user, app):
+        return Job(
+            job_id=job_id,
+            submit_time=submit,
+            run_time=run,
+            procs=procs,
+            req_mem=req_mem,
+            used_mem=max(req_mem * frac_used, 0.01),
+            user_id=user,
+            app_id=app,
+        )
+
+    return st.builds(
+        build,
+        job_id=st.integers(min_value=1, max_value=10_000),
+        submit=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        run=st.floats(min_value=1, max_value=1e5, allow_nan=False),
+        procs=st.integers(min_value=1, max_value=max_procs),
+        req_mem=st.sampled_from(list(mem_levels)),
+        frac_used=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        user=st.integers(min_value=0, max_value=20),
+        app=st.integers(min_value=0, max_value=10),
+    )
+
+
+def unique_jobs_strategy(min_size: int = 1, max_size: int = 40) -> st.SearchStrategy[List[Job]]:
+    """Lists of jobs with unique IDs (what a trace guarantees)."""
+
+    def reid(jobs: List[Job]) -> List[Job]:
+        return [
+            Job(
+                job_id=i + 1,
+                submit_time=j.submit_time,
+                run_time=j.run_time,
+                procs=j.procs,
+                req_mem=j.req_mem,
+                used_mem=j.used_mem,
+                req_time=j.req_time,
+                user_id=j.user_id,
+                group_id=j.group_id,
+                app_id=j.app_id,
+            )
+            for i, j in enumerate(jobs)
+        ]
+
+    return st.lists(job_strategy(), min_size=min_size, max_size=max_size).map(reid)

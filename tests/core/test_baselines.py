@@ -1,0 +1,58 @@
+"""No-estimation baseline and oracle."""
+
+import pytest
+
+from repro.cluster.ladder import CapacityLadder
+from repro.core.base import Feedback, clamp_to_request
+from repro.core.baselines import NoEstimation, OracleEstimator
+from tests.conftest import make_job
+
+
+class TestNoEstimation:
+    def test_returns_request(self):
+        est = NoEstimation()
+        assert est.estimate(make_job(req_mem=32.0)) == 32.0
+
+    def test_ignores_attempt(self):
+        est = NoEstimation()
+        assert est.estimate(make_job(req_mem=24.0), attempt=5) == 24.0
+
+    def test_never_reduces_flag(self):
+        assert NoEstimation().never_reduces()
+        assert not OracleEstimator().never_reduces()
+
+    def test_observe_is_noop(self):
+        est = NoEstimation()
+        job = make_job()
+        est.observe(Feedback(job=job, succeeded=False, requirement=32.0, granted=32.0))
+        assert est.estimate(job) == 32.0
+
+    def test_works_without_binding(self):
+        # The baseline never touches the ladder.
+        assert NoEstimation().estimate(make_job()) == 32.0
+
+
+class TestOracle:
+    def test_returns_actual_usage(self):
+        est = OracleEstimator()
+        assert est.estimate(make_job(req_mem=32.0, used_mem=5.0)) == 5.0
+
+    def test_margin(self):
+        est = OracleEstimator(margin=1.5)
+        assert est.estimate(make_job(req_mem=32.0, used_mem=4.0)) == 6.0
+
+    def test_clamped_to_request(self):
+        est = OracleEstimator(margin=2.0)
+        assert est.estimate(make_job(req_mem=8.0, used_mem=6.0)) == 8.0
+
+    def test_sub_unit_margin_rejected(self):
+        with pytest.raises(ValueError):
+            OracleEstimator(margin=0.9)
+
+
+class TestClampToRequest:
+    def test_clamps(self):
+        assert clamp_to_request(64.0, make_job(req_mem=32.0)) == 32.0
+
+    def test_passes_smaller(self):
+        assert clamp_to_request(8.0, make_job(req_mem=32.0)) == 8.0

@@ -1,0 +1,165 @@
+"""Property-based invariants every estimator must satisfy.
+
+Each estimator is driven through arbitrary (hypothesis-generated) sequences
+of submissions and feedback, with the simulator's exact success rule, and
+the invariants that the rest of the system depends on are asserted:
+
+* estimates are positive and never exceed the job's request,
+* the estimator never crashes on any feedback ordering,
+* given enough sequential cycles, every job class eventually runs
+  successfully (termination — no estimator can wedge a job forever),
+* determinism: the same seed and sequence produce the same estimates.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ladder import CapacityLadder
+from repro.core import (
+    HybridEstimator,
+    LastInstance,
+    OracleEstimator,
+    RegressionEstimator,
+    ReinforcementLearning,
+    RobustLineSearch,
+    SuccessiveApproximation,
+)
+from repro.core.base import Feedback
+from repro.core.online import OnlineSimilarityEstimator
+from tests.conftest import make_job
+
+LEVELS = (2.0, 4.0, 8.0, 16.0, 24.0, 32.0)
+
+FACTORIES = [
+    SuccessiveApproximation,
+    lambda: SuccessiveApproximation(beta=0.5),
+    lambda: SuccessiveApproximation(serial_probing=False),
+    LastInstance,
+    lambda: ReinforcementLearning(rng=0),
+    RegressionEstimator,
+    RobustLineSearch,
+    OracleEstimator,
+    HybridEstimator,
+    OnlineSimilarityEstimator,
+]
+
+FACTORY_IDS = [
+    "successive",
+    "successive-beta0.5",
+    "successive-noprobe",
+    "last-instance",
+    "rl",
+    "regression",
+    "line-search",
+    "oracle",
+    "hybrid",
+    "online",
+]
+
+job_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),  # user (group identity)
+        st.sampled_from([32.0, 24.0, 16.0, 8.0]),  # request
+        st.floats(min_value=0.02, max_value=1.0),  # used fraction
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def drive(estimator, specs):
+    """Sequential submissions with the simulator's exact semantics."""
+    ladder = CapacityLadder(LEVELS)
+    estimator.bind(ladder)
+    history = []
+    for i, (user, req, frac) in enumerate(specs):
+        job = make_job(
+            job_id=i + 1, user_id=user, req_mem=req, used_mem=max(req * frac, 0.01)
+        )
+        attempt = 0
+        while True:
+            requirement = estimator.estimate(job, attempt=attempt)
+            granted = ladder.round_up(requirement)
+            succeeded = granted is not None and granted >= job.used_mem
+            estimator.observe(
+                Feedback(
+                    job=job,
+                    succeeded=succeeded,
+                    requirement=requirement,
+                    granted=granted if granted is not None else 0.0,
+                    used=job.used_mem,
+                    attempt=attempt,
+                )
+            )
+            history.append((job, requirement, succeeded))
+            if succeeded:
+                break
+            attempt += 1
+            assert attempt <= 10, (
+                f"{type(estimator).__name__} wedged job {job.job_id} "
+                f"(req {req}, used {job.used_mem})"
+            )
+    return history
+
+
+@pytest.mark.parametrize("factory", FACTORIES, ids=FACTORY_IDS)
+class TestUniversalInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(specs=job_specs)
+    def test_estimates_bounded_and_jobs_terminate(self, factory, specs):
+        estimator = factory()
+        for job, requirement, _ in drive(estimator, specs):
+            assert requirement > 0
+            assert requirement <= job.req_mem + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(specs=job_specs)
+    def test_deterministic_replay(self, factory, specs):
+        h1 = [(r, ok) for _, r, ok in drive(factory(), specs)]
+        h2 = [(r, ok) for _, r, ok in drive(factory(), specs)]
+        assert h1 == h2
+
+    @settings(max_examples=10, deadline=None)
+    @given(specs=job_specs)
+    def test_reset_restores_cold_behavior(self, factory, specs):
+        estimator = factory()
+        drive(estimator, specs)
+        estimator.reset()
+        cold = factory()
+        cold.bind(CapacityLadder(LEVELS))
+        probe = make_job(job_id=999, user_id=0, req_mem=32.0, used_mem=4.0)
+        assert estimator.estimate(probe) == cold.estimate(probe)
+
+
+class TestAlgorithmSpecificInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(specs=job_specs)
+    def test_successive_alpha_never_below_one(self, specs):
+        est = SuccessiveApproximation(beta=0.3)
+        drive(est, specs)
+        for key in list(est._groups):
+            assert est._groups[key].alpha >= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(specs=job_specs)
+    def test_successive_safe_value_always_holds_ladder(self, specs):
+        # The safe value must always round up to *some* machine class.
+        est = SuccessiveApproximation()
+        ladder = CapacityLadder(LEVELS)
+        drive(est, specs)
+        for state in est._groups.values():
+            assert ladder.round_up(min(state.safe_value, 32.0)) is not None
+
+    @settings(max_examples=25, deadline=None)
+    @given(specs=job_specs)
+    def test_linesearch_brackets_ordered(self, specs):
+        est = RobustLineSearch()
+        drive(est, specs)
+        for key, bracket in est._brackets.items():
+            assert bracket.lo <= bracket.hi
+
+    @settings(max_examples=25, deadline=None)
+    @given(specs=job_specs)
+    def test_oracle_never_fails(self, specs):
+        history = drive(OracleEstimator(), specs)
+        assert all(ok for _, _, ok in history)

@@ -1,0 +1,113 @@
+"""Hybrid estimator: similarity where warm, regression where cold."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.cluster.ladder import CapacityLadder
+from repro.core import HybridEstimator, NoEstimation, SuccessiveApproximation
+from repro.core.base import Feedback
+from repro.core.regression import RegressionEstimator
+from repro.sim import simulate, utilization
+from tests.conftest import make_job
+
+
+def bound(**kw):
+    est = HybridEstimator(**kw)
+    est.bind(CapacityLadder([4.0, 8.0, 16.0, 24.0, 32.0]))
+    return est
+
+
+def succeed(est, job, used, requirement=None):
+    req = requirement if requirement is not None else job.req_mem
+    est.observe(
+        Feedback(job=job, succeeded=True, requirement=req, granted=32.0, used=used)
+    )
+
+
+class TestRouting:
+    def test_cold_group_untrained_fallback_trusts_request(self):
+        est = bound()
+        assert est.estimate(make_job(req_mem=32.0)) == 32.0
+
+    def test_cold_group_uses_trained_fallback(self):
+        est = bound(fallback=RegressionEstimator(min_samples=10, safety_sigmas=0.0))
+        # Train the global model with other users' jobs (2x over-provisioning).
+        for i in range(50):
+            succeed(est, make_job(job_id=i, user_id=i % 7, req_mem=32.0), used=16.0)
+        cold = make_job(job_id=999, user_id=99, req_mem=32.0)
+        assert est.estimate(cold) == pytest.approx(16.0, rel=0.15)
+
+    def test_warm_group_prefers_similarity(self):
+        est = bound(fallback=RegressionEstimator(min_samples=5, safety_sigmas=0.0))
+        job = make_job(job_id=1, user_id=1, req_mem=32.0, used_mem=4.0)
+        # Warm the group with one success at the request.
+        succeed(est, job, used=4.0)
+        for i in range(30):
+            succeed(est, make_job(job_id=10 + i, user_id=i % 5 + 2), used=28.0)
+        # The group's own estimate (32/2=16) wins over the pessimistic
+        # global model (~28).
+        assert est.estimate(job) == 16.0
+
+    def test_fallback_never_raises_above_similarity(self):
+        est = bound(fallback=RegressionEstimator(min_samples=5, safety_sigmas=5.0))
+        for i in range(30):
+            succeed(est, make_job(job_id=10 + i, user_id=i % 5 + 2), used=30.0)
+        cold = make_job(job_id=999, user_id=99, req_mem=16.0, used_mem=2.0)
+        assert est.estimate(cold) <= 16.0
+
+    def test_retries_stay_with_similarity(self):
+        est = bound(fallback=RegressionEstimator(min_samples=1, safety_sigmas=0.0))
+        for i in range(30):
+            succeed(est, make_job(job_id=10 + i, user_id=i % 5 + 2), used=4.0)
+        job = make_job(job_id=1, user_id=1, req_mem=32.0, used_mem=20.0)
+        # The job failed at the regression-guided 4-8MB level; the retry must
+        # escalate per the similarity estimator's logic, not re-trust the
+        # global model.
+        est.observe(Feedback(job=job, succeeded=False, requirement=8.0, granted=8.0))
+        assert est.estimate(job, attempt=1) > 8.0
+
+    def test_feedback_feeds_both(self):
+        est = bound()
+        job = make_job(job_id=1, req_mem=32.0)
+        succeed(est, job, used=8.0)
+        assert est.n_groups == 1
+        assert est.n_fallback_samples == 1
+
+    def test_regression_guided_success_seeds_group(self):
+        est = bound()
+        job = make_job(job_id=1, user_id=1, req_mem=32.0, used_mem=4.0)
+        # A success at requirement 8 (whoever chose it) becomes the group's
+        # safe value.
+        succeed(est, job, used=4.0, requirement=8.0)
+        state = est.similarity.group_state_for(job)
+        assert state.last_safe == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridEstimator(min_group_successes=0)
+
+    def test_reset(self):
+        est = bound()
+        succeed(est, make_job(), used=8.0)
+        est.reset()
+        assert est.n_groups == 0
+        assert est.n_fallback_samples == 0
+
+
+class TestEndToEnd:
+    def test_hybrid_at_least_matches_pure_similarity(self):
+        from repro.workload import drop_full_machine_jobs, lanl_cm5_like, scale_load
+
+        trace = scale_load(
+            drop_full_machine_jobs(lanl_cm5_like(n_jobs=3000, seed=0)), 0.8
+        )
+        pure = simulate(
+            trace, paper_cluster(24.0), estimator=SuccessiveApproximation(), seed=1
+        )
+        hybrid = simulate(
+            trace, paper_cluster(24.0), estimator=HybridEstimator(), seed=1
+        )
+        base = simulate(trace, paper_cluster(24.0), estimator=NoEstimation(), seed=1)
+        assert utilization(hybrid) > utilization(base) * 1.2
+        # The fallback should not hurt relative to pure similarity.
+        assert utilization(hybrid) >= utilization(pure) * 0.95

@@ -1,0 +1,121 @@
+"""Last-instance identification (explicit feedback + similarity)."""
+
+import pytest
+
+from repro.cluster.ladder import CapacityLadder
+from repro.core.base import Feedback
+from repro.core.last_instance import LastInstance
+from tests.conftest import make_job
+
+
+def bound(est=None):
+    est = est or LastInstance()
+    est.bind(CapacityLadder([4.0, 8.0, 16.0, 24.0, 32.0]))
+    return est
+
+
+def succeed(est, job, used):
+    est.observe(
+        Feedback(job=job, succeeded=True, requirement=job.req_mem, granted=32.0, used=used)
+    )
+
+
+class TestEstimation:
+    def test_first_submission_trusts_request(self):
+        est = bound()
+        assert est.estimate(make_job(req_mem=32.0)) == 32.0
+
+    def test_uses_previous_instance_usage(self):
+        est = bound(LastInstance(safety_factor=1.0, window=1))
+        job = make_job(req_mem=32.0, used_mem=5.0)
+        succeed(est, job, used=5.0)
+        assert est.estimate(job) == 5.0
+
+    def test_safety_factor_headroom(self):
+        est = bound(LastInstance(safety_factor=1.2, window=1))
+        job = make_job(req_mem=32.0)
+        succeed(est, job, used=10.0)
+        assert est.estimate(job) == pytest.approx(12.0)
+
+    def test_window_takes_max_of_recent(self):
+        est = bound(LastInstance(safety_factor=1.0, window=3))
+        job = make_job(req_mem=32.0)
+        for used in (4.0, 9.0, 6.0):
+            succeed(est, job, used)
+        assert est.estimate(job) == 9.0
+
+    def test_window_forgets_old_peaks(self):
+        est = bound(LastInstance(safety_factor=1.0, window=2))
+        job = make_job(req_mem=32.0)
+        for used in (20.0, 4.0, 5.0):
+            succeed(est, job, used)
+        assert est.estimate(job) == 5.0
+
+    def test_estimate_clamped_to_request(self):
+        est = bound(LastInstance(safety_factor=2.0, window=1))
+        job = make_job(req_mem=8.0)
+        succeed(est, job, used=7.0)
+        assert est.estimate(job) == 8.0
+
+    def test_groups_are_independent(self):
+        est = bound(LastInstance(safety_factor=1.0))
+        a = make_job(job_id=1, user_id=1, req_mem=32.0)
+        b = make_job(job_id=2, user_id=2, req_mem=32.0)
+        succeed(est, a, used=4.0)
+        assert est.estimate(b) == 32.0
+
+
+class TestFailureHandling:
+    def test_resource_failure_escalates_group(self):
+        est = bound(LastInstance(safety_factor=1.0, window=1))
+        job = make_job(req_mem=32.0)
+        succeed(est, job, used=5.0)
+        # Our reduced estimate (5) got granted 8 but the job needed 10.
+        est.observe(
+            Feedback(job=job, succeeded=False, requirement=5.0, granted=8.0, used=10.0)
+        )
+        assert est.estimate(job) == 32.0  # reduction disabled
+
+    def test_false_positive_does_not_escalate(self):
+        est = bound(LastInstance(safety_factor=1.0, window=1))
+        job = make_job(req_mem=32.0)
+        succeed(est, job, used=5.0)
+        # Crash with granted >= used: not a resource problem (§2.1).
+        est.observe(
+            Feedback(job=job, succeeded=False, requirement=5.0, granted=8.0, used=5.0)
+        )
+        assert est.estimate(job) == 5.0
+
+    def test_failure_at_full_request_does_not_escalate(self):
+        # Failing with the user's own request is not the estimator's doing.
+        est = bound(LastInstance(safety_factor=1.0, window=1))
+        job = make_job(req_mem=32.0)
+        est.observe(
+            Feedback(job=job, succeeded=False, requirement=32.0, granted=32.0, used=None)
+        )
+        succeed(est, job, used=4.0)
+        assert est.estimate(job) == 4.0
+
+    def test_retry_guard(self):
+        est = bound(LastInstance(safety_factor=1.0, window=1, max_reduced_attempts=2))
+        job = make_job(req_mem=32.0)
+        succeed(est, job, used=4.0)
+        assert est.estimate(job, attempt=2) == 32.0
+
+
+class TestValidation:
+    def test_window_positive(self):
+        with pytest.raises(ValueError):
+            LastInstance(window=0)
+
+    def test_safety_factor_at_least_one(self):
+        with pytest.raises(ValueError):
+            LastInstance(safety_factor=0.9)
+
+    def test_reset(self):
+        est = bound(LastInstance(safety_factor=1.0))
+        job = make_job(req_mem=32.0)
+        succeed(est, job, used=4.0)
+        est.reset()
+        assert est.estimate(job) == 32.0
+        assert est.n_groups == 0

@@ -1,0 +1,131 @@
+"""Robust line-search estimator (the §2.3 extension)."""
+
+import pytest
+
+from repro.cluster.ladder import CapacityLadder
+from repro.core.base import Feedback
+from repro.core.linesearch import RobustLineSearch
+from tests.conftest import make_job
+
+
+def bound(est=None, levels=(4.0, 8.0, 16.0, 24.0, 32.0, 64.0)):
+    est = est or RobustLineSearch()
+    est.bind(CapacityLadder(levels))
+    return est
+
+
+def drive(est, job, n, used=None):
+    used = used if used is not None else job.used_mem
+    ladder = est.ladder
+    history = []
+    for _ in range(n):
+        requirement = est.estimate(job)
+        granted = ladder.round_up(requirement)
+        succeeded = granted is not None and granted >= used
+        est.observe(
+            Feedback(
+                job=job,
+                succeeded=succeeded,
+                requirement=requirement,
+                granted=granted if granted is not None else 0.0,
+            )
+        )
+        history.append((requirement, succeeded))
+    return history
+
+
+class TestBasicDescent:
+    def test_first_submission_is_request(self):
+        est = bound()
+        assert est.estimate(make_job(req_mem=32.0)) == 32.0
+
+    def test_descends_toward_usage(self):
+        est = bound(RobustLineSearch(confidence=1))
+        job = make_job(req_mem=32.0, used_mem=5.0)
+        drive(est, job, 12)
+        bracket = est.bracket(est.key_fn(job))
+        assert bracket["hi"] == 8.0  # smallest level >= 5
+
+    def test_never_requests_above_request(self):
+        est = bound()
+        job = make_job(req_mem=24.0, used_mem=4.0)
+        for req, _ in drive(est, job, 10):
+            assert req <= 24.0
+
+    def test_converged_estimate_is_safe(self):
+        est = bound(RobustLineSearch(confidence=1))
+        job = make_job(req_mem=64.0, used_mem=10.0)
+        history = drive(est, job, 15)
+        assert history[-1][0] >= 10.0
+        assert history[-1][1]
+
+
+class TestRobustness:
+    def test_j1_j2_mixed_group_refines_better_than_algorithm1(self):
+        # The paper's §2.3 pathology: 12MB and 18MB jobs in one 64MB-request
+        # group.  On a ladder with a 24MB level the line search can settle on
+        # 24 — a better estimate than Algorithm 1's 32 — without ever
+        # retrying the failed 16.
+        est = bound(RobustLineSearch(confidence=1), levels=(8.0, 16.0, 24.0, 32.0, 64.0))
+        j1 = make_job(job_id=1, req_mem=64.0, used_mem=12.0)
+        j2 = make_job(job_id=2, req_mem=64.0, used_mem=18.0)
+        for _ in range(4):
+            drive(est, j1, 1)
+            drive(est, j2, 1)
+        bracket = est.bracket(est.key_fn(j1))
+        assert bracket["hi"] == 24.0
+        assert bracket["lo"] >= 16.0
+
+    def test_failed_level_never_retried(self):
+        est = bound(RobustLineSearch(confidence=1))
+        job = make_job(req_mem=32.0, used_mem=10.0)
+        history = drive(est, job, 15)
+        failed_levels = {req for req, ok in history if not ok}
+        for level in failed_levels:
+            # After a failure at `level`, later submissions stay above it.
+            idx = max(i for i, (r, ok) in enumerate(history) if r == level and not ok)
+            assert all(r > level for r, _ in history[idx + 1 :])
+
+    def test_confidence_delays_deeper_cuts(self):
+        fast = bound(RobustLineSearch(confidence=1))
+        slow = bound(RobustLineSearch(confidence=3))
+        job = make_job(req_mem=32.0, used_mem=4.0)
+        fast_hist = drive(fast, job, 6)
+        slow_hist = drive(slow, job, 6)
+        # The cautious searcher has made fewer distinct reductions.
+        assert len({r for r, _ in slow_hist}) <= len({r for r, _ in fast_hist})
+
+    def test_safe_level_failure_escalates(self):
+        # A failure at the current hi (mixed group) pushes hi upward.
+        est = bound(RobustLineSearch(confidence=1), levels=(8.0, 16.0, 32.0, 64.0))
+        small = make_job(job_id=1, req_mem=64.0, used_mem=7.0)
+        drive(est, small, 8)  # settle at 8
+        big = make_job(job_id=2, req_mem=64.0, used_mem=12.0)
+        drive(est, big, 1)  # fails at 8
+        bracket = est.bracket(est.key_fn(big))
+        assert bracket["hi"] == 16.0
+
+    def test_retry_guard(self):
+        est = bound()
+        job = make_job(req_mem=32.0, used_mem=30.0)
+        assert est.estimate(job, attempt=3) == 32.0
+
+
+class TestValidation:
+    def test_confidence_positive(self):
+        with pytest.raises(ValueError):
+            RobustLineSearch(confidence=0)
+
+    def test_reset(self):
+        est = bound()
+        job = make_job(req_mem=32.0, used_mem=4.0)
+        drive(est, job, 3)
+        est.reset()
+        assert est.n_groups == 0
+        assert est.bracket(est.key_fn(job)) is None
+
+    def test_feedback_for_unknown_group_ignored(self):
+        est = bound()
+        est.observe(
+            Feedback(job=make_job(), succeeded=True, requirement=16.0, granted=16.0)
+        )  # must not raise

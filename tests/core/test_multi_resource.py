@@ -1,0 +1,115 @@
+"""Coordinate-descent multi-resource estimation (the §2.3 generalization)."""
+
+import pytest
+
+from repro.cluster.ladder import CapacityLadder
+from repro.core.multi_resource import (
+    CoordinateDescentEstimator,
+    MultiResourceTask,
+    run_episode,
+)
+
+
+def task(group="g", mem=(32.0, 5.0), disk=(1000.0, 100.0)):
+    return MultiResourceTask(
+        group=group,
+        requested={"mem": mem[0], "disk": disk[0]},
+        used={"mem": mem[1], "disk": disk[1]},
+    )
+
+
+class TestTaskValidation:
+    def test_mismatched_resources_rejected(self):
+        with pytest.raises(ValueError, match="same resources"):
+            MultiResourceTask(group="g", requested={"mem": 32.0}, used={"disk": 1.0})
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            MultiResourceTask(group="g", requested={"mem": 0.0}, used={"mem": 0.0})
+
+
+class TestCoordinateDescent:
+    def test_one_resource_probed_per_step(self):
+        est = CoordinateDescentEstimator(alpha=2.0)
+        t = task()
+        first = est.estimate(t)
+        est.observe(t, first, succeeded=True)
+        second = est.estimate(t)
+        # Between consecutive steps at most one coordinate may sit below its
+        # safe value; the others equal their last safe requirement.
+        changed = [r for r in first if second[r] < first[r]]
+        assert len(changed) <= 1
+
+    def test_converges_toward_usage(self):
+        est = CoordinateDescentEstimator(alpha=2.0, beta=0.0)
+        history = run_episode(est, [task() for _ in range(24)])
+        safe = est.safe_vector("g")
+        assert safe["mem"] >= 5.0
+        assert safe["disk"] >= 100.0
+        # Substantial reclaim on both axes (requests were 32 / 1000).
+        assert safe["mem"] <= 16.0
+        assert safe["disk"] <= 300.0
+
+    def test_blame_is_unambiguous(self):
+        # A failure only backs off the resource that moved.
+        est = CoordinateDescentEstimator(alpha=4.0, beta=0.0)
+        t = task(mem=(32.0, 30.0), disk=(1000.0, 10.0))  # mem is tight, disk loose
+        run_episode(est, [t] * 20)
+        safe = est.safe_vector("g")
+        assert safe["mem"] == 32.0  # every mem cut fails; restored
+        assert safe["disk"] < 200.0  # disk kept descending regardless
+
+    def test_never_exceeds_requests(self):
+        est = CoordinateDescentEstimator(alpha=2.0)
+        for requirement, _ in run_episode(est, [task() for _ in range(10)]):
+            assert requirement["mem"] <= 32.0
+            assert requirement["disk"] <= 1000.0
+
+    def test_ladder_rounding_applied(self):
+        est = CoordinateDescentEstimator(
+            alpha=2.0, ladders={"mem": CapacityLadder([8.0, 16.0, 32.0])}
+        )
+        history = run_episode(est, [task() for _ in range(12)])
+        mem_values = {req["mem"] for req, _ in history}
+        assert mem_values <= {8.0, 16.0, 32.0}
+
+    def test_every_success_is_genuinely_sufficient(self):
+        est = CoordinateDescentEstimator(alpha=2.0)
+        t = task()
+        for requirement, succeeded in run_episode(est, [t] * 15):
+            expected = all(requirement[r] >= t.used[r] for r in t.used)
+            assert succeeded == expected
+
+    def test_groups_independent(self):
+        est = CoordinateDescentEstimator(alpha=2.0)
+        run_episode(est, [task(group="a") for _ in range(10)])
+        assert est.safe_vector("b") is None
+        assert est.n_groups == 1
+
+    def test_rotation_covers_all_resources(self):
+        est = CoordinateDescentEstimator(alpha=2.0, beta=0.0)
+        t = MultiResourceTask(
+            group="g",
+            requested={"a": 100.0, "b": 100.0, "c": 100.0},
+            used={"a": 10.0, "b": 10.0, "c": 10.0},
+        )
+        run_episode(est, [t] * 30)
+        safe = est.safe_vector("g")
+        # Every coordinate descended, so the rotation visited all of them.
+        assert all(safe[r] < 100.0 for r in ("a", "b", "c"))
+
+    def test_reset(self):
+        est = CoordinateDescentEstimator()
+        run_episode(est, [task()])
+        est.reset()
+        assert est.n_groups == 0
+
+
+class TestValidation:
+    def test_alpha_above_one(self):
+        with pytest.raises(ValueError):
+            CoordinateDescentEstimator(alpha=1.0)
+
+    def test_beta_range(self):
+        with pytest.raises(ValueError):
+            CoordinateDescentEstimator(beta=1.0)

@@ -1,0 +1,142 @@
+"""Regression estimator (explicit feedback, no similarity)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.ladder import CapacityLadder
+from repro.core.base import Feedback
+from repro.core.regression import RegressionEstimator, default_features
+from tests.conftest import make_job
+
+
+def bound(est=None):
+    est = est or RegressionEstimator()
+    est.bind(CapacityLadder([4.0, 8.0, 16.0, 24.0, 32.0]))
+    return est
+
+
+def feed(est, job, used, succeeded=True, granted=32.0):
+    est.observe(
+        Feedback(
+            job=job,
+            succeeded=succeeded,
+            requirement=job.req_mem,
+            granted=granted,
+            used=used,
+        )
+    )
+
+
+class TestColdStart:
+    def test_trusts_request_before_min_samples(self):
+        est = bound(RegressionEstimator(min_samples=10))
+        job = make_job(req_mem=32.0)
+        for i in range(9):
+            feed(est, make_job(job_id=i), used=4.0)
+        assert est.estimate(job) == 32.0
+
+    def test_estimates_after_min_samples(self):
+        est = bound(RegressionEstimator(min_samples=5, safety_sigmas=0.0))
+        for i in range(20):
+            feed(est, make_job(job_id=i, req_mem=32.0), used=16.0)
+        # Everyone over-provisions 2x: the learnt mapping divides by 2
+        # (the paper's §4 example).
+        assert est.estimate(make_job(req_mem=32.0)) == pytest.approx(16.0, rel=0.1)
+
+
+class TestLearning:
+    def test_paper_example_divide_by_two(self):
+        # Users over-estimate by 100% across several request levels.
+        est = bound(RegressionEstimator(min_samples=10, safety_sigmas=0.0))
+        rng = np.random.default_rng(0)
+        for i in range(300):
+            req = float(rng.choice([8.0, 16.0, 24.0, 32.0]))
+            job = make_job(job_id=i, req_mem=req, used_mem=req / 2)
+            feed(est, job, used=req / 2)
+        for req in (8.0, 16.0, 32.0):
+            predicted = est.estimate(make_job(job_id=999, req_mem=req, used_mem=1.0))
+            assert predicted == pytest.approx(req / 2, rel=0.15)
+
+    def test_safety_margin_raises_estimate(self):
+        jobs = [make_job(job_id=i, req_mem=32.0) for i in range(100)]
+        rng = np.random.default_rng(1)
+        usages = np.exp(rng.normal(np.log(8.0), 0.5, size=100))
+
+        tight = bound(RegressionEstimator(min_samples=10, safety_sigmas=0.0))
+        safe = bound(RegressionEstimator(min_samples=10, safety_sigmas=2.0))
+        for job, used in zip(jobs, usages):
+            feed(tight, job, used=float(used))
+            feed(safe, job, used=float(used))
+        probe = make_job(job_id=999, req_mem=32.0)
+        assert safe.estimate(probe) > tight.estimate(probe)
+
+    def test_estimate_clamped_to_request(self):
+        est = bound(RegressionEstimator(min_samples=5, safety_sigmas=5.0))
+        for i in range(50):
+            feed(est, make_job(job_id=i, req_mem=32.0), used=30.0)
+        assert est.estimate(make_job(req_mem=32.0)) <= 32.0
+
+    def test_under_allocated_failure_not_learnt(self):
+        # Usage recorded for a job killed by under-allocation is a lower
+        # bound; learning from it would bias the model downward.
+        est = bound(RegressionEstimator(min_samples=1))
+        feed(est, make_job(job_id=1), used=5.0, succeeded=False, granted=4.0)
+        assert est.n_samples == 0
+
+    def test_spurious_failure_is_learnt(self):
+        # granted >= used: the sample is a genuine usage observation.
+        est = bound(RegressionEstimator(min_samples=1))
+        feed(est, make_job(job_id=1), used=3.0, succeeded=False, granted=8.0)
+        assert est.n_samples == 1
+
+    def test_implicit_feedback_ignored(self):
+        est = bound(RegressionEstimator())
+        est.observe(
+            Feedback(job=make_job(), succeeded=True, requirement=32.0, granted=32.0, used=None)
+        )
+        assert est.n_samples == 0
+
+
+class TestOfflineFit:
+    def test_fit_warm_starts(self, small_trace):
+        est = bound(RegressionEstimator(min_samples=50))
+        est.fit(small_trace)
+        assert est.n_samples == len(small_trace)
+        job = make_job(req_mem=32.0, used_mem=1.0)
+        # After warm start the estimator reduces full-node requests.
+        assert est.estimate(job) < 32.0
+
+    def test_linear_target_mode(self):
+        est = bound(RegressionEstimator(min_samples=5, safety_sigmas=0.0, log_target=False))
+        for i in range(50):
+            feed(est, make_job(job_id=i, req_mem=32.0), used=16.0)
+        assert est.estimate(make_job(req_mem=32.0)) == pytest.approx(16.0, rel=0.1)
+
+
+class TestGuards:
+    def test_retry_guard(self):
+        est = bound(RegressionEstimator(min_samples=1, safety_sigmas=0.0))
+        for i in range(20):
+            feed(est, make_job(job_id=i, req_mem=32.0), used=4.0)
+        assert est.estimate(make_job(req_mem=32.0), attempt=2) == 32.0
+
+    def test_reset(self):
+        est = bound(RegressionEstimator(min_samples=1))
+        feed(est, make_job(), used=4.0)
+        est.reset()
+        assert est.n_samples == 0
+        assert est.weights is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionEstimator(ridge=0.0)
+        with pytest.raises(ValueError):
+            RegressionEstimator(safety_sigmas=-1.0)
+        with pytest.raises(ValueError):
+            RegressionEstimator(min_samples=0)
+
+    def test_default_features_request_time_only(self):
+        x = default_features(make_job(req_mem=32.0, procs=64, req_time=500.0))
+        assert x[0] == 1.0
+        assert x[1] == 32.0
+        assert len(x) == 5

@@ -1,0 +1,174 @@
+"""Concurrency-safety mechanisms of SuccessiveApproximation.
+
+Algorithm 1 as written is sequential; these tests pin down the three
+mechanisms that make it safe when many jobs of one group are in flight
+(serial probing, per-job failure floors, mixed-group escalation) and that
+each can be disabled to reproduce the unguarded dynamics.
+"""
+
+import pytest
+
+from repro.cluster.ladder import CapacityLadder
+from repro.core.base import Feedback
+from repro.core.successive import SuccessiveApproximation
+from tests.conftest import make_job
+
+
+def ladder():
+    return CapacityLadder([8.0, 16.0, 24.0, 32.0])
+
+
+def fb(job, succeeded, requirement, granted=None, attempt=0):
+    return Feedback(
+        job=job,
+        succeeded=succeeded,
+        requirement=requirement,
+        granted=granted if granted is not None else requirement,
+        attempt=attempt,
+    )
+
+
+class TestSerialProbing:
+    def make(self, **kw):
+        est = SuccessiveApproximation(**kw)
+        est.bind(ladder())
+        return est
+
+    def test_only_one_concurrent_probe(self):
+        est = self.make()
+        a = make_job(job_id=1, req_mem=32.0, user_id=1)
+        b = make_job(job_id=2, req_mem=32.0, user_id=1)
+        # First success drops the group estimate to 16 (alpha=2).
+        est.observe(fb(a, True, 32.0))
+        probe_req = est.estimate(a)  # takes the probe ticket
+        sibling_req = est.estimate(b)  # must ride the safe value
+        assert probe_req == 16.0
+        assert sibling_req == 32.0
+
+    def test_probe_ticket_is_reentrant(self):
+        # Late binding re-estimates the same (job, attempt) repeatedly.
+        est = self.make()
+        a = make_job(job_id=1, req_mem=32.0)
+        est.observe(fb(a, True, 32.0))
+        assert est.estimate(a) == 16.0
+        assert est.estimate(a) == 16.0  # same ticket keeps the probe
+
+    def test_probe_released_on_feedback(self):
+        est = self.make()
+        a = make_job(job_id=1, req_mem=32.0, user_id=1)
+        b = make_job(job_id=2, req_mem=32.0, user_id=1)
+        est.observe(fb(a, True, 32.0))
+        est.estimate(a)  # probe at 16
+        est.observe(fb(a, True, 16.0))  # probe verdict: safe
+        # Now the safe value is 16; b may probe further (8).
+        assert est.estimate(b) == 8.0
+
+    def test_disabled_probing_lets_everyone_reduce(self):
+        est = self.make(serial_probing=False)
+        a = make_job(job_id=1, req_mem=32.0, user_id=1)
+        b = make_job(job_id=2, req_mem=32.0, user_id=1)
+        est.observe(fb(a, True, 32.0))
+        assert est.estimate(a) == 16.0
+        assert est.estimate(b) == 16.0  # both adopt the untested reduction
+
+
+class TestPerJobFailureFloor:
+    def test_retry_goes_strictly_above_failed_level(self):
+        est = SuccessiveApproximation()
+        est.bind(ladder())
+        job = make_job(job_id=1, req_mem=32.0, used_mem=20.0)
+        est.observe(fb(job, True, 32.0))
+        assert est.estimate(job) == 16.0
+        est.observe(fb(job, False, 16.0))  # 20 > 16: resource failure
+        # Attempt 1 must not repeat 16 even though the group froze there...
+        retry = est.estimate(job, attempt=1)
+        assert retry > 16.0
+
+    def test_floor_cleared_on_success(self):
+        est = SuccessiveApproximation()
+        est.bind(ladder())
+        job = make_job(job_id=1, req_mem=32.0, used_mem=20.0)
+        est.observe(fb(job, False, 16.0))
+        est.observe(fb(job, True, 24.0))
+        assert job.job_id not in est._failed_at
+
+    def test_floor_is_per_job(self):
+        est = SuccessiveApproximation()
+        est.bind(ladder())
+        a = make_job(job_id=1, req_mem=32.0, user_id=1)
+        b = make_job(job_id=2, req_mem=32.0, user_id=1)
+        est.observe(fb(a, True, 32.0))
+        est.observe(fb(a, False, 16.0))
+        # b never failed; it may probe the group's (restored) estimate.
+        assert est.estimate(b) == 32.0  # group froze at the safe value
+
+
+class TestMixedGroupEscalation:
+    def drive_failures(self, est, usages, requirement):
+        for i, used in enumerate(usages):
+            job = make_job(job_id=100 + i, req_mem=32.0, used_mem=used, user_id=1)
+            est.observe(fb(job, False, requirement))
+
+    def test_repeated_safe_failures_raise_safe_value(self):
+        est = SuccessiveApproximation(mixed_group_threshold=3)
+        est.bind(ladder())
+        seed = make_job(job_id=1, req_mem=32.0, used_mem=5.0, user_id=1)
+        est.observe(fb(seed, True, 32.0))
+        est.observe(fb(seed, True, 16.0))  # safe value now 16
+        # Three big members fail at the safe 16 -> escalate to 24.
+        self.drive_failures(est, [20.0, 19.0, 21.0], requirement=16.0)
+        probe = make_job(job_id=50, req_mem=32.0, used_mem=20.0, user_id=1)
+        assert est.group_state_for(probe).safe_value == 24.0
+
+    def test_below_threshold_keeps_safe_value(self):
+        est = SuccessiveApproximation(mixed_group_threshold=3)
+        est.bind(ladder())
+        seed = make_job(job_id=1, req_mem=32.0, used_mem=5.0, user_id=1)
+        est.observe(fb(seed, True, 32.0))
+        est.observe(fb(seed, True, 16.0))
+        self.drive_failures(est, [20.0, 19.0], requirement=16.0)
+        assert est.group_state_for(seed).safe_value == 16.0
+
+    def test_success_at_safe_resets_counter(self):
+        est = SuccessiveApproximation(mixed_group_threshold=3)
+        est.bind(ladder())
+        seed = make_job(job_id=1, req_mem=32.0, used_mem=5.0, user_id=1)
+        est.observe(fb(seed, True, 32.0))
+        est.observe(fb(seed, True, 16.0))
+        self.drive_failures(est, [20.0, 19.0], requirement=16.0)
+        est.observe(fb(seed, True, 16.0))  # a small member succeeds at 16
+        state = est.group_state_for(seed)
+        assert state.safe_failures == 0
+        assert state.safe_value == 16.0
+
+    def test_escalation_capped_at_request(self):
+        est = SuccessiveApproximation(mixed_group_threshold=1)
+        est.bind(CapacityLadder([32.0]))
+        job = make_job(job_id=1, req_mem=32.0, used_mem=30.0, user_id=1)
+        est.observe(fb(job, False, 32.0))
+        assert est.group_state_for(job).safe_value == 32.0
+
+    def test_disabled_threshold_freezes_forever(self):
+        est = SuccessiveApproximation(mixed_group_threshold=0)
+        est.bind(ladder())
+        seed = make_job(job_id=1, req_mem=32.0, used_mem=5.0, user_id=1)
+        est.observe(fb(seed, True, 32.0))
+        est.observe(fb(seed, True, 16.0))
+        self.drive_failures(est, [20.0] * 10, requirement=16.0)
+        assert est.group_state_for(seed).safe_value == 16.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuccessiveApproximation(mixed_group_threshold=-1)
+
+    def test_success_above_safe_does_not_raise_safe(self):
+        # A straddling job succeeding at its bumped level must not drag the
+        # whole group's safe value up.
+        est = SuccessiveApproximation()
+        est.bind(ladder())
+        seed = make_job(job_id=1, req_mem=32.0, used_mem=5.0, user_id=1)
+        est.observe(fb(seed, True, 32.0))
+        est.observe(fb(seed, True, 16.0))  # safe 16
+        big = make_job(job_id=2, req_mem=32.0, used_mem=20.0, user_id=1)
+        est.observe(fb(big, True, 24.0, attempt=1))  # bumped retry succeeded
+        assert est.group_state_for(seed).safe_value == 16.0

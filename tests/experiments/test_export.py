@@ -1,0 +1,74 @@
+"""CSV export of experiment results."""
+
+import pytest
+
+from repro.experiments import fig1, fig7
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.export import (
+    fig1_csv,
+    fig7_csv,
+    write_csv,
+)
+
+TINY = ExperimentConfig(n_jobs=1200, loads=(0.5, 0.9))
+
+
+class TestWriteCsv:
+    def test_basic(self):
+        text = write_csv(["a", "b"], [(1, 2.5), (3, 4.0)])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_quoting(self):
+        text = write_csv(["x"], [('hello, "world"',)])
+        assert '"hello, ""world"""' in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            write_csv(["a", "b"], [(1,)])
+
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(["a"], [(1,)], path)
+        assert path.read_text().startswith("a\n1")
+
+    def test_float_precision_preserved(self):
+        text = write_csv(["x"], [(0.1 + 0.2,)])
+        assert "0.30000000000000004" in text
+
+
+class TestResultExports:
+    def test_fig1(self):
+        result = fig1.run(TINY)
+        text = fig1_csv(result)
+        assert text.startswith("ratio_bin_center,fraction_of_jobs")
+        assert len(text.strip().splitlines()) == len(result.bin_centers) + 1
+
+    def test_fig7(self):
+        result = fig7.run()
+        text = fig7_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0] == "cycle,internal_estimate,submitted_estimate,ok"
+        assert "4.0,False" in text  # the failing 4MB cycle
+
+    def test_fig5_fig6_table1_falsepositives(self):
+        # One cheap sweep shared across exports.
+        from repro.experiments import fig5, fig6, table1, falsepositives
+        from repro.experiments.export import (
+            falsepositives_csv,
+            fig5_csv,
+            fig6_csv,
+            table1_csv,
+        )
+
+        r5 = fig5.run(TINY)
+        r6 = fig6.run(TINY, fig5_result=r5)
+        assert fig5_csv(r5).count("\n") == len(TINY.loads) + 1
+        assert fig6_csv(r6).count("\n") == len(TINY.loads) + 1
+
+        t1 = table1.run(TINY, load=0.8)
+        assert table1_csv(t1).count("\n") == len(t1.rows) + 1
+
+        fp = falsepositives.run(TINY, spurious_probs=(0.0,), load=0.8)
+        assert falsepositives_csv(fp).count("\n") == len(fp.points) + 1

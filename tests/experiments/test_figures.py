@@ -1,0 +1,223 @@
+"""Every figure/table experiment at reduced scale: shape assertions.
+
+These are the qualitative claims of the paper, checked end to end through
+the experiment harness (the benchmarks run the same code at larger scale and
+record the quantitative comparison in EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig1, fig3, fig4, fig5, fig6, fig7, fig8, table1
+from repro.experiments.config import ExperimentConfig
+
+FAST = ExperimentConfig(n_jobs=2_500, loads=(0.4, 0.6, 0.8, 1.0))
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1.run(FAST)
+
+    def test_histogram_normalized(self, result):
+        assert result.job_fractions.sum() == pytest.approx(1.0)
+
+    def test_overprovisioning_present(self, result):
+        assert result.stats.frac_ratio_ge_2 == pytest.approx(0.328, abs=0.08)
+
+    def test_decaying_log_line(self, result):
+        # At this reduced scale the far tail's bins are sparse, so only the
+        # decay direction is asserted; the benchmark checks R^2 at scale.
+        assert result.stats.fit.slope < 0
+        assert result.stats.fit.r_squared > 0.0
+
+    def test_formatting(self, result):
+        assert "Figure 1" in result.format_table()
+        assert "log y" in result.format_chart()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run(FAST)
+
+    def test_many_groups(self, result):
+        assert result.distribution.n_groups > 50
+
+    def test_coverage_matches_paper(self, result):
+        assert result.distribution.fraction_of_groups_at_least(10) == pytest.approx(
+            0.194, abs=0.08
+        )
+        assert result.distribution.fraction_of_jobs_at_least(10) == pytest.approx(
+            0.83, abs=0.12
+        )
+
+    def test_formatting(self, result):
+        assert "9885" in result.format_table()
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(FAST)
+
+    def test_groups_are_tight(self, result):
+        assert np.median(result.ranges) < 1.5
+
+    def test_high_gain_groups_exist(self, result):
+        assert result.gains.max() > 10.0
+
+    def test_gain_and_range_well_defined(self, result):
+        assert np.all(result.ranges >= 1.0)
+        assert np.all(result.gains >= 1.0 - 1e-9)
+
+    def test_formatting(self, result):
+        assert "Figure 4" in result.format_table()
+
+
+class TestFig5And6:
+    @pytest.fixture(scope="class")
+    def result5(self):
+        return fig5.run(FAST)
+
+    @pytest.fixture(scope="class")
+    def result6(self, result5):
+        return fig6.run(FAST, fig5_result=result5)
+
+    def test_estimation_improves_saturation_utilization(self, result5):
+        # The paper's headline: +58%.  At reduced scale we require a clear
+        # improvement, recorded precisely in EXPERIMENTS.md at full scale.
+        assert result5.improvement > 0.15
+
+    def test_estimation_never_hurts_utilization(self, result5):
+        ratio = result5.with_estimation.utilizations / result5.without_estimation.utilizations
+        assert np.all(ratio >= 0.95)
+
+    def test_conservativeness(self, result5):
+        assert result5.with_estimation.max_frac_failed < 0.02
+        lo, hi = result5.with_estimation.reduced_range
+        assert hi > 0.10  # a substantial share of submissions were reduced
+
+    def test_slowdown_never_worse(self, result6):
+        assert np.all(result6.slowdown_ratio >= 0.95)
+
+    def test_slowdown_improves_somewhere(self, result6):
+        assert result6.slowdown_ratio.max() > 1.2
+
+    def test_shared_sweep_reused(self, result5, result6):
+        assert result6.with_estimation is result5.with_estimation
+
+    def test_formatting(self, result5, result6):
+        assert "Figure 5" in result5.format_table()
+        assert "Figure 6" in result6.format_table()
+
+    def test_backfilling_variant_runs(self):
+        tiny = ExperimentConfig(n_jobs=800, loads=(0.6,))
+        result = fig5.run(tiny, policy="easy-backfilling")
+        assert result.policy_name == "easy-backfilling"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            fig5.run(FAST, policy="magic")
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run()
+
+    def test_paper_sequence_exact(self, result):
+        assert result.estimates[:5] == [32.0, 16.0, 8.0, 4.0, 8.0]
+
+    def test_single_failure(self, result):
+        assert result.n_failures == 1
+
+    def test_final_estimate_and_reduction(self, result):
+        assert result.final_estimate == 8.0
+        assert result.reduction_factor == 4.0
+
+    def test_formatting(self, result):
+        table = result.format_table()
+        assert "fail" in table
+        assert "4x" in table
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run(
+            ExperimentConfig(n_jobs=2_500),
+            mems=[4.0, 8.0, 15.0, 16.0, 20.0, 24.0, 28.0, 32.0],
+            load=0.8,
+        )
+
+    def test_no_improvement_below_sixteen(self, result):
+        below = [p.ratio for p in result.points if p.second_tier_mem < 16.0]
+        assert all(r < 1.1 for r in below)
+
+    def test_improvement_inside_band(self, result):
+        assert result.improvement_in_band > 0.10
+
+    def test_homogeneous_is_neutral(self, result):
+        at32 = [p for p in result.points if p.second_tier_mem == 32.0][0]
+        assert at32.ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_node_count_tracks_improvement(self, result):
+        assert result.node_count_fit is not None
+        assert result.node_count_fit.r_squared > 0.6  # paper: 0.991
+        assert result.node_count_fit.slope > 0
+
+    def test_benefiting_nodes_scarce_below_wall(self, result):
+        # Below the 32/alpha wall only sub-32MB requesters can descend, so
+        # the benefiting node count is a small fraction of the band's.
+        below = max(
+            p.benefiting_node_count for p in result.points if p.second_tier_mem < 16.0
+        )
+        band = max(
+            p.benefiting_node_count
+            for p in result.points
+            if 16.0 <= p.second_tier_mem <= 28.0
+        )
+        assert below < 0.4 * band
+
+    def test_formatting(self, result):
+        assert "Figure 8" in result.format_table()
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run(ExperimentConfig(n_jobs=2_500), load=0.8)
+
+    def test_all_six_rows(self, result):
+        names = {r.estimator for r in result.rows}
+        assert names == {
+            "no-estimation",
+            "successive-approximation",
+            "last-instance",
+            "reinforcement-learning",
+            "regression",
+            "oracle",
+        }
+
+    def test_every_estimator_at_least_baseline(self, result):
+        base = result.baseline
+        for row in result.rows:
+            assert row.utilization >= base.utilization * 0.95
+
+    def test_oracle_is_best(self, result):
+        oracle = result.row("oracle")
+        for row in result.rows:
+            assert row.utilization <= oracle.utilization * 1.05
+
+    def test_taxonomy_algorithms_improve(self, result):
+        base = result.baseline
+        assert result.row("successive-approximation").improvement_over(base) > 0.10
+        assert result.row("last-instance").improvement_over(base) > 0.10
+
+    def test_unknown_row_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+    def test_formatting(self, result):
+        assert "Table 1" in result.format_table()

@@ -1,0 +1,85 @@
+"""Policy-robustness experiment and size-class analysis."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import policies_exp
+
+
+@pytest.fixture(scope="module")
+def result():
+    return policies_exp.run(ExperimentConfig(n_jobs=2_000), load=0.8)
+
+
+class TestPolicyComparison:
+    def test_all_three_policies_present(self, result):
+        assert {r.policy for r in result.rows} == {"fcfs", "sjf", "easy-backfilling"}
+
+    def test_conjecture_holds(self, result):
+        # §3.1: the gains carry over to aggressive policies.
+        assert result.conjecture_holds
+
+    def test_fcfs_improvement_substantial(self, result):
+        assert result.row("fcfs").improvement > 0.2
+
+    def test_backfilling_baseline_beats_fcfs_baseline(self, result):
+        # Sanity: EASY without estimation outperforms plain FCFS without
+        # estimation (that's what backfilling is for).
+        assert (
+            result.row("easy-backfilling").util_base
+            >= result.row("fcfs").util_base * 0.98
+        )
+
+    def test_slowdown_never_worse(self, result):
+        for row in result.rows:
+            assert row.slowdown_ratio >= 0.90
+
+    def test_unknown_policy_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("lottery")
+
+    def test_formatting(self, result):
+        text = result.format_table()
+        assert "conjecture holds" in text
+        assert "easy-backfilling" in text
+
+
+class TestWaitBySizeClass:
+    def test_partitions_jobs(self, sim_trace, two_tier_cluster):
+        from repro.core import NoEstimation
+        from repro.sim import simulate
+        from repro.sim.analysis import wait_by_size_class
+
+        result = simulate(sim_trace, two_tier_cluster, estimator=NoEstimation(), seed=1)
+        classes = wait_by_size_class(result)
+        assert sum(c.n_jobs for c in classes) == result.n_completed
+        assert [c.label for c in classes] == ["0-63", "64-255", ">=256"]
+
+    def test_estimation_helps_large_jobs(self, sim_trace):
+        from repro.cluster import paper_cluster
+        from repro.core import NoEstimation, SuccessiveApproximation
+        from repro.sim import simulate
+        from repro.sim.analysis import wait_by_size_class
+
+        base = simulate(sim_trace, paper_cluster(24.0), estimator=NoEstimation(), seed=1)
+        est = simulate(
+            sim_trace, paper_cluster(24.0), estimator=SuccessiveApproximation(), seed=1
+        )
+        base_big = wait_by_size_class(base)[-1]
+        est_big = wait_by_size_class(est)[-1]
+        if base_big.n_jobs and est_big.n_jobs:
+            assert est_big.mean_wait <= base_big.mean_wait * 1.05
+
+    def test_empty_class_is_nan(self):
+        from repro.cluster.cluster import Cluster
+        from repro.sim import simulate
+        from repro.sim.analysis import wait_by_size_class
+        from tests.conftest import make_job, make_workload
+
+        result = simulate(
+            make_workload([make_job(procs=4)]), Cluster([(8, 32.0)])
+        )
+        classes = wait_by_size_class(result)
+        assert classes[0].n_jobs == 1
+        assert np.isnan(classes[2].mean_wait)

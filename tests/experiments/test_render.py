@@ -1,0 +1,68 @@
+"""Text rendering utilities."""
+
+import pytest
+
+from repro.experiments.render import ascii_chart, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_nan_rendered(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_tiny_numbers_scientific(self):
+        out = format_table(["x"], [[1e-9]])
+        assert "e-09" in out
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+
+class TestAsciiChart:
+    def test_contains_marks_and_legend(self):
+        out = ascii_chart([1, 2, 3], {"series": [1.0, 2.0, 3.0]})
+        assert "o" in out
+        assert "o = series" in out
+
+    def test_multiple_series_get_distinct_marks(self):
+        out = ascii_chart([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "o = a" in out
+        assert "x = b" in out
+
+    def test_log_scale(self):
+        out = ascii_chart([1, 2, 3], {"s": [1, 100, 10000]}, log_y=True)
+        assert "[log y]" in out
+
+    def test_log_scale_skips_nonpositive(self):
+        out = ascii_chart([1, 2], {"s": [0.0, 10.0]}, log_y=True)
+        assert "10" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1.0]})
+
+    def test_empty_x(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+
+    def test_constant_series_does_not_crash(self):
+        ascii_chart([1, 2, 3], {"s": [5.0, 5.0, 5.0]})
+
+    def test_title_first_line(self):
+        out = ascii_chart([1, 2], {"s": [1, 2]}, title="T")
+        assert out.splitlines()[0] == "T"

@@ -1,0 +1,38 @@
+"""Seed-replication harness at unit scale."""
+
+import pytest
+
+from repro.experiments import replication
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return replication.run(ExperimentConfig(n_jobs=1_200), seeds=(0, 1, 2), load=0.9)
+
+
+class TestReplication:
+    def test_one_point_per_seed(self, result):
+        assert [p.seed for p in result.points] == [0, 1, 2]
+
+    def test_improvement_positive_everywhere(self, result):
+        assert all(p.improvement > 0 for p in result.points)
+
+    def test_ci_brackets_mean(self, result):
+        lo, hi = result.confidence_interval()
+        assert lo <= result.mean_improvement <= hi
+
+    def test_std_nonnegative(self, result):
+        assert result.std_improvement >= 0
+
+    def test_single_seed_ci_degenerates(self):
+        single = replication.run(
+            ExperimentConfig(n_jobs=800), seeds=(0,), load=0.9
+        )
+        lo, hi = single.confidence_interval()
+        assert lo == hi == single.mean_improvement
+
+    def test_formatting(self, result):
+        text = result.format_table()
+        assert "95% CI" in text
+        assert "paper: +58%" in text

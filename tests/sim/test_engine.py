@@ -1,0 +1,256 @@
+"""The discrete-event engine: §3.1 semantics and conservation invariants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.cluster import Cluster
+from repro.core import NoEstimation, OracleEstimator, SuccessiveApproximation
+from repro.sim.engine import Simulation, simulate
+from repro.sim.failure import FailureModel
+from repro.sim.metrics import utilization
+from repro.sim.policies import EasyBackfilling, Fcfs, ShortestJobFirst
+from tests.conftest import make_job, make_workload, unique_jobs_strategy
+
+
+def cluster_32():
+    return Cluster([(8, 32.0)])
+
+
+class TestBasicExecution:
+    def test_single_job_runs_immediately(self):
+        w = make_workload([make_job(submit_time=10.0, run_time=100.0, procs=4)])
+        result = simulate(w, cluster_32())
+        assert result.n_completed == 1
+        summary = result.summaries[0]
+        assert summary.start_time == 10.0
+        assert summary.end_time == 110.0
+        assert summary.slowdown == pytest.approx(1.0)
+
+    def test_jobs_queue_when_cluster_full(self):
+        w = make_workload(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, procs=8),
+                make_job(job_id=2, submit_time=10.0, run_time=50.0, procs=8),
+            ]
+        )
+        result = simulate(w, cluster_32())
+        second = result.summaries[1]
+        assert second.start_time == 100.0  # waits for the first to finish
+        assert second.end_time == 150.0
+
+    def test_fcfs_no_overtaking(self):
+        # A small job behind a blocked big job must NOT start first.
+        w = make_workload(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, procs=8),
+                make_job(job_id=2, submit_time=1.0, run_time=10.0, procs=8),
+                make_job(job_id=3, submit_time=2.0, run_time=10.0, procs=1),
+            ]
+        )
+        result = simulate(w, cluster_32(), policy=Fcfs())
+        starts = {s.job.job_id: s.start_time for s in result.summaries}
+        assert starts[3] >= starts[2]
+
+    def test_parallel_starts_when_room(self):
+        w = make_workload(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, procs=4),
+                make_job(job_id=2, submit_time=0.0, run_time=100.0, procs=4),
+            ]
+        )
+        result = simulate(w, cluster_32())
+        assert all(s.start_time == 0.0 for s in result.summaries)
+
+    def test_simulation_single_use(self):
+        w = make_workload([make_job()])
+        sim = Simulation(w, cluster_32())
+        sim.run()
+        with pytest.raises(RuntimeError, match="single-use"):
+            sim.run()
+
+
+class TestFailureSemantics:
+    def test_underallocated_job_fails_and_retries(self):
+        # One 24MB machine class; the job needs 30MB but a reduced estimate
+        # sends it there first.
+        cluster = Cluster([(4, 24.0), (4, 32.0)])
+        w = make_workload(
+            [make_job(job_id=1, req_mem=32.0, used_mem=30.0, run_time=100.0, procs=2)]
+        )
+        est = SuccessiveApproximation(alpha=2.0)
+        # Prime the estimator's group to the 24MB level via a sibling job.
+        result = simulate(
+            make_workload(
+                [
+                    make_job(job_id=1, req_mem=32.0, used_mem=10.0, run_time=10.0, procs=2),
+                    make_job(
+                        job_id=2,
+                        submit_time=20.0,
+                        req_mem=32.0,
+                        used_mem=10.0,
+                        run_time=10.0,
+                        procs=2,
+                    ),
+                    make_job(
+                        job_id=3,
+                        submit_time=40.0,
+                        req_mem=32.0,
+                        used_mem=30.0,
+                        run_time=10.0,
+                        procs=2,
+                    ),
+                ]
+            ),
+            cluster,
+            estimator=est,
+            seed=0,
+        )
+        assert result.n_resource_failures >= 1
+        assert result.n_completed == 3  # the failed job completed on retry
+
+    def test_failed_job_returns_to_head(self):
+        # §3.1: the failed job re-enters at the head, ahead of earlier queuers.
+        cluster = Cluster([(8, 24.0), (8, 32.0)])
+        jobs = [
+            # Group-mates that drive the group estimate down to 24.
+            make_job(job_id=1, submit_time=0.0, run_time=10.0, procs=2, used_mem=5.0),
+            make_job(job_id=2, submit_time=15.0, run_time=10.0, procs=2, used_mem=5.0),
+            # The victim: usage 30 > 24 fails on the small tier until the
+            # retry guard escalates it back to its (feasible) 32MB request.
+            make_job(job_id=3, submit_time=30.0, run_time=50.0, procs=8, used_mem=30.0),
+            # A later full-machine job that would love to jump ahead.
+            make_job(job_id=4, submit_time=31.0, run_time=10.0, procs=16, used_mem=5.0),
+        ]
+        result = simulate(
+            make_workload(jobs), cluster, estimator=SuccessiveApproximation(), seed=0
+        )
+        starts = {s.job.job_id: s.start_time for s in result.summaries}
+        failures = {s.job.job_id: s.n_resource_failures for s in result.summaries}
+        assert failures[3] >= 1
+        # Job 3's successful run begins before job 4 runs (head-of-queue retry).
+        assert starts[3] <= starts[4]
+
+    def test_wasted_time_accounted(self):
+        cluster = Cluster([(4, 16.0), (4, 32.0)])
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=10.0, procs=2, used_mem=4.0),
+            make_job(job_id=2, submit_time=20.0, run_time=10.0, procs=2, used_mem=4.0),
+            make_job(job_id=3, submit_time=40.0, run_time=100.0, procs=2, used_mem=20.0),
+        ]
+        result = simulate(
+            make_workload(jobs), cluster, estimator=SuccessiveApproximation(), seed=0
+        )
+        if result.n_resource_failures:
+            assert result.wasted_node_seconds > 0
+
+    def test_spurious_failures_retry_to_completion(self):
+        w = make_workload(
+            [make_job(job_id=i, submit_time=float(i), procs=1) for i in range(20)]
+        )
+        result = Simulation(
+            w,
+            cluster_32(),
+            failure_model=FailureModel(rng=0, spurious_failure_prob=0.3),
+        ).run()
+        assert result.n_completed == 20
+        assert result.n_spurious_failures > 0
+
+
+class TestRejection:
+    def test_oversized_job_rejected_not_deadlocked(self):
+        w = make_workload(
+            [
+                make_job(job_id=1, procs=100),  # bigger than the machine
+                make_job(job_id=2, submit_time=1.0, procs=4),
+            ]
+        )
+        result = simulate(w, cluster_32())
+        assert len(result.rejected_jobs) == 1
+        assert result.n_completed == 1
+
+    def test_unsatisfiable_memory_rejected(self):
+        w = make_workload([make_job(req_mem=64.0, used_mem=40.0, procs=2)])
+        result = simulate(w, Cluster([(8, 32.0)]))
+        assert len(result.rejected_jobs) == 1
+
+
+class TestEstimatorIntegration:
+    def test_oracle_fills_small_tier(self):
+        # With the oracle, 32MB-requesting jobs that use 4MB run on the small
+        # machines, leaving the big tier free.
+        cluster = Cluster([(4, 32.0), (4, 8.0)])
+        w = make_workload(
+            [make_job(job_id=i, submit_time=0.0, procs=4, used_mem=4.0) for i in (1, 2)]
+        )
+        result = simulate(w, cluster, estimator=OracleEstimator())
+        assert all(s.start_time == 0.0 for s in result.summaries)
+        # Without estimation the second job must wait.
+        result_base = simulate(
+            make_workload(
+                [make_job(job_id=i, submit_time=0.0, procs=4, used_mem=4.0) for i in (1, 2)]
+            ),
+            Cluster([(4, 32.0), (4, 8.0)]),
+            estimator=NoEstimation(),
+        )
+        starts = sorted(s.start_time for s in result_base.summaries)
+        assert starts[1] > 0.0
+
+    def test_estimation_never_loses_jobs(self, sim_trace, two_tier_cluster):
+        result = simulate(sim_trace, two_tier_cluster, estimator=SuccessiveApproximation(), seed=1)
+        assert result.n_completed == len(sim_trace) - len(result.rejected_jobs)
+        assert len(result.rejected_jobs) == 0
+
+
+class TestConservationInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(unique_jobs_strategy(min_size=1, max_size=25))
+    def test_every_job_completes_exactly_once(self, jobs):
+        w = make_workload(jobs)
+        cluster = Cluster([(16, 32.0), (16, 24.0), (16, 8.0)])
+        result = simulate(w, cluster, estimator=SuccessiveApproximation(), seed=0)
+        assert result.n_completed + len(result.rejected_jobs) == len(jobs)
+        completed_ids = [s.job.job_id for s in result.summaries]
+        assert len(set(completed_ids)) == len(completed_ids)
+
+    @settings(max_examples=25, deadline=None)
+    @given(unique_jobs_strategy(min_size=1, max_size=25))
+    def test_cluster_fully_freed_at_end(self, jobs):
+        cluster = Cluster([(16, 32.0), (16, 24.0), (16, 8.0)])
+        simulate(make_workload(jobs), cluster, estimator=SuccessiveApproximation(), seed=0)
+        assert cluster.free_nodes == cluster.total_nodes
+
+    @settings(max_examples=25, deadline=None)
+    @given(unique_jobs_strategy(min_size=1, max_size=25))
+    def test_time_sanity_per_job(self, jobs):
+        w = make_workload(jobs)
+        result = simulate(w, Cluster([(16, 32.0), (16, 8.0)]), seed=0)
+        for s in result.summaries:
+            assert s.start_time >= s.first_submit
+            assert s.end_time == pytest.approx(s.start_time + s.job.run_time)
+            assert s.slowdown >= 1.0 - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(unique_jobs_strategy(min_size=1, max_size=20))
+    def test_utilization_bounded(self, jobs):
+        w = make_workload(jobs)
+        result = simulate(w, Cluster([(16, 32.0), (16, 8.0)]), seed=0)
+        assert 0.0 <= utilization(result) <= 1.0 + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(unique_jobs_strategy(min_size=2, max_size=20))
+    def test_policies_agree_on_conservation(self, jobs):
+        for policy in (Fcfs(), ShortestJobFirst(), EasyBackfilling()):
+            cluster = Cluster([(16, 32.0), (16, 8.0)])
+            result = simulate(make_workload(jobs), cluster, policy=policy, seed=0)
+            assert result.n_completed + len(result.rejected_jobs) == len(jobs)
+            assert cluster.free_nodes == cluster.total_nodes
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, sim_trace, two_tier_cluster):
+        from repro.cluster import paper_cluster
+
+        r1 = simulate(sim_trace, paper_cluster(24.0), estimator=SuccessiveApproximation(), seed=5)
+        r2 = simulate(sim_trace, paper_cluster(24.0), estimator=SuccessiveApproximation(), seed=5)
+        assert utilization(r1) == utilization(r2)
+        assert [s.end_time for s in r1.summaries] == [s.end_time for s in r2.summaries]

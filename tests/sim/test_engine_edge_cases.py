@@ -1,0 +1,147 @@
+"""Engine edge cases: estimator/policy interplay, degenerate inputs."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.cluster import Cluster
+from repro.core import (
+    HybridEstimator,
+    LastInstance,
+    OracleEstimator,
+    RegressionEstimator,
+    ReinforcementLearning,
+    RobustLineSearch,
+    SuccessiveApproximation,
+)
+from repro.core.online import OnlineSimilarityEstimator
+from repro.sim.engine import Simulation, simulate
+from repro.sim.failure import FailureModel
+from repro.sim.metrics import utilization
+from repro.sim.policies import EasyBackfilling, ShortestJobFirst
+from tests.conftest import make_job, make_workload, unique_jobs_strategy
+
+
+def mixed_cluster():
+    return Cluster([(16, 32.0), (16, 24.0), (16, 8.0)])
+
+
+ALL_ESTIMATORS = [
+    SuccessiveApproximation,
+    LastInstance,
+    lambda: ReinforcementLearning(rng=0),
+    RegressionEstimator,
+    RobustLineSearch,
+    OracleEstimator,
+    HybridEstimator,
+    OnlineSimilarityEstimator,
+]
+
+
+class TestEveryEstimatorCompletesTheTrace:
+    @pytest.mark.parametrize("factory", ALL_ESTIMATORS)
+    def test_conservation(self, factory, sim_trace):
+        from repro.cluster import paper_cluster
+
+        result = simulate(sim_trace, paper_cluster(24.0), estimator=factory(), seed=3)
+        assert result.n_completed == len(sim_trace)
+        assert 0.0 < utilization(result) <= 1.0
+
+    @pytest.mark.parametrize("factory", ALL_ESTIMATORS)
+    def test_with_spurious_failures(self, factory):
+        jobs = [
+            make_job(job_id=i, submit_time=float(i * 5), procs=4, user_id=i % 3)
+            for i in range(40)
+        ]
+        result = Simulation(
+            make_workload(jobs),
+            mixed_cluster(),
+            estimator=factory(),
+            failure_model=FailureModel(rng=1, spurious_failure_prob=0.2),
+        ).run()
+        assert result.n_completed == 40
+
+
+class TestPolicyEstimatorInterplay:
+    @pytest.mark.parametrize("policy_cls", [ShortestJobFirst, EasyBackfilling])
+    def test_estimation_with_aggressive_policies(self, policy_cls, sim_trace):
+        from repro.cluster import paper_cluster
+
+        base = simulate(sim_trace, paper_cluster(24.0), policy=policy_cls(), seed=2)
+        est = simulate(
+            sim_trace,
+            paper_cluster(24.0),
+            estimator=SuccessiveApproximation(),
+            policy=policy_cls(),
+            seed=2,
+        )
+        assert est.n_completed == base.n_completed == len(sim_trace)
+        # §3.1's conjecture: the benefit is not an FCFS artifact.
+        assert utilization(est) >= utilization(base) * 0.95
+
+    def test_backfilling_with_runtime_underestimates(self):
+        # req_time below run_time breaks EASY's conservative assumption;
+        # the engine must still complete every job (reservations may slip,
+        # correctness may not).
+        jobs = [
+            make_job(
+                job_id=i,
+                submit_time=float(i),
+                run_time=100.0,
+                req_time=10.0,  # wild underestimate
+                procs=8,
+            )
+            for i in range(10)
+        ]
+        result = simulate(make_workload(jobs), Cluster([(16, 32.0)]), policy=EasyBackfilling())
+        assert result.n_completed == 10
+
+
+class TestDegenerateWorkloads:
+    def test_empty_workload(self):
+        result = simulate(make_workload([]), mixed_cluster())
+        assert result.n_jobs == 0
+        assert result.makespan == 0.0
+
+    def test_all_jobs_identical_instant(self):
+        jobs = [make_job(job_id=i, submit_time=0.0, procs=8) for i in range(10)]
+        result = simulate(make_workload(jobs), Cluster([(8, 32.0)]))
+        assert result.n_completed == 10
+        # Strictly serialized: end-to-end takes 10 runtimes.
+        assert result.makespan == pytest.approx(1000.0)
+
+    def test_single_node_jobs(self):
+        jobs = [make_job(job_id=i, submit_time=0.0, procs=1) for i in range(8)]
+        result = simulate(make_workload(jobs), Cluster([(8, 32.0)]))
+        assert all(s.start_time == 0.0 for s in result.summaries)
+
+    def test_zero_used_memory_forbidden_by_job_validation(self):
+        with pytest.raises(ValueError):
+            make_job(used_mem=0.0)
+
+    def test_late_binding_off_still_completes(self, sim_trace):
+        from repro.cluster import paper_cluster
+
+        result = Simulation(
+            sim_trace,
+            paper_cluster(24.0),
+            estimator=SuccessiveApproximation(),
+            failure_model=FailureModel(rng=0),
+            late_binding=False,
+        ).run()
+        assert result.n_completed == len(sim_trace)
+
+
+class TestSerialProbingUnderLoad:
+    @settings(max_examples=10, deadline=None)
+    @given(unique_jobs_strategy(min_size=5, max_size=30))
+    def test_probing_toggle_conserves_jobs(self, jobs):
+        for probing in (True, False):
+            cluster = mixed_cluster()
+            result = simulate(
+                make_workload(jobs),
+                cluster,
+                estimator=SuccessiveApproximation(serial_probing=probing),
+                seed=0,
+            )
+            assert result.n_completed + len(result.rejected_jobs) == len(jobs)
+            assert cluster.free_nodes == cluster.total_nodes

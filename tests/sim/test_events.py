@@ -1,0 +1,73 @@
+"""Event queue ordering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, "b")
+        q.push(1.0, EventKind.ARRIVAL, "a")
+        assert q.pop()[2] == "a"
+        assert q.pop()[2] == "b"
+
+    def test_completions_before_arrivals_at_same_time(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, "arrive")
+        q.push(5.0, EventKind.COMPLETION, "complete")
+        assert q.pop()[1] is EventKind.COMPLETION
+        assert q.pop()[1] is EventKind.ARRIVAL
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, "first")
+        q.push(5.0, EventKind.ARRIVAL, "second")
+        assert q.pop()[2] == "first"
+        assert q.pop()[2] == "second"
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(3.0, EventKind.ARRIVAL, None)
+        assert q.peek_time() == 3.0
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_invalid_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(float("nan"), EventKind.ARRIVAL, None)
+        with pytest.raises(ValueError):
+            q.push(float("inf"), EventKind.ARRIVAL, None)
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, EventKind.ARRIVAL, None)
+        assert q
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                st.sampled_from([EventKind.ARRIVAL, EventKind.COMPLETION]),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_pop_order_is_nondecreasing(self, events):
+        q = EventQueue()
+        for t, kind in events:
+            q.push(t, kind, None)
+        times = []
+        while q:
+            times.append(q.pop()[0])
+        assert times == sorted(times)

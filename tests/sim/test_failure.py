@@ -1,0 +1,65 @@
+"""Execution-outcome model (§3.1 failure semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.failure import FailureModel
+from tests.conftest import make_job
+
+
+class TestResourceFailures:
+    def test_sufficient_capacity_succeeds(self):
+        model = FailureModel(rng=0)
+        outcome = model.outcome(make_job(used_mem=8.0, run_time=100.0), granted_capacity=8.0)
+        assert outcome.succeeded
+        assert outcome.duration == 100.0
+        assert not outcome.resource_related
+
+    def test_insufficient_capacity_fails(self):
+        model = FailureModel(rng=0)
+        outcome = model.outcome(make_job(used_mem=8.0), granted_capacity=7.9)
+        assert not outcome.succeeded
+        assert outcome.resource_related
+
+    def test_failure_time_uniform_in_runtime(self):
+        # §3.1: "fails after a random time, drawn uniformly between zero and
+        # the execution run-time".
+        model = FailureModel(rng=0)
+        job = make_job(used_mem=8.0, run_time=100.0)
+        durations = [model.outcome(job, 1.0).duration for _ in range(2000)]
+        assert all(0 <= d < 100.0 for d in durations)
+        assert np.mean(durations) == pytest.approx(50.0, rel=0.1)
+        # Spread consistent with uniform (std = range/sqrt(12) ~ 28.9).
+        assert np.std(durations) == pytest.approx(28.9, rel=0.15)
+
+    def test_deterministic_given_seed(self):
+        a = FailureModel(rng=3)
+        b = FailureModel(rng=3)
+        job = make_job(used_mem=8.0)
+        assert a.outcome(job, 1.0).duration == b.outcome(job, 1.0).duration
+
+
+class TestSpuriousFailures:
+    def test_disabled_by_default(self):
+        model = FailureModel(rng=0)
+        job = make_job(used_mem=8.0)
+        assert all(model.outcome(job, 32.0).succeeded for _ in range(100))
+
+    def test_rate_respected(self):
+        model = FailureModel(rng=0, spurious_failure_prob=0.25)
+        job = make_job(used_mem=8.0, run_time=50.0)
+        outcomes = [model.outcome(job, 32.0) for _ in range(4000)]
+        failures = [o for o in outcomes if not o.succeeded]
+        assert len(failures) / len(outcomes) == pytest.approx(0.25, abs=0.03)
+        assert all(not f.resource_related for f in failures)
+        assert all(0 <= f.duration < 50.0 for f in failures)
+
+    def test_resource_failure_takes_precedence(self):
+        # Under-allocation is checked first; its failures are resource_related.
+        model = FailureModel(rng=0, spurious_failure_prob=1.0)
+        outcome = model.outcome(make_job(used_mem=8.0), granted_capacity=1.0)
+        assert outcome.resource_related
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FailureModel(spurious_failure_prob=1.5)

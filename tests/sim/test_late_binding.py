@@ -1,0 +1,115 @@
+"""Late-binding requirement refresh and retry-guard isolation."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.ladder import CapacityLadder
+from repro.core import SuccessiveApproximation
+from repro.core.base import Feedback
+from repro.sim.engine import Simulation
+from repro.sim.failure import FailureModel
+from repro.sim.metrics import utilization
+from tests.conftest import make_job, make_workload
+
+
+def group_burst(n=8, procs=4, submit_gap=1.0, used=4.0):
+    """One similarity group submitting a burst of jobs almost at once."""
+    return [
+        make_job(
+            job_id=i + 1,
+            submit_time=i * submit_gap,
+            run_time=100.0,
+            procs=procs,
+            req_mem=32.0,
+            used_mem=used,
+            user_id=9,
+        )
+        for i in range(n)
+    ]
+
+
+class TestLateBinding:
+    def run(self, late_binding):
+        # A tiny 32MB tier forces queueing; the 24MB tier is where estimated
+        # jobs should end up.  All jobs of one group arrive before the first
+        # completes, so enqueue-time estimates are all 32.
+        cluster = Cluster([(4, 32.0), (16, 24.0)])
+        sim = Simulation(
+            make_workload(group_burst()),
+            cluster,
+            estimator=SuccessiveApproximation(),
+            failure_model=FailureModel(rng=0),
+            late_binding=late_binding,
+        )
+        return sim.run()
+
+    def test_late_binding_uses_fresh_estimates(self):
+        result = self.run(late_binding=True)
+        # After the first job completes, later jobs bind at the head with
+        # the reduced estimate and flow onto the 24MB tier.
+        assert result.n_reduced_submissions >= 5
+
+    def test_enqueue_binding_starves_feedback(self):
+        result = self.run(late_binding=False)
+        # Every requirement was fixed at 32 when the burst arrived.
+        assert result.n_reduced_submissions == 0
+
+    def test_late_binding_improves_throughput(self):
+        late = self.run(late_binding=True)
+        frozen = self.run(late_binding=False)
+        assert late.makespan <= frozen.makespan
+        assert utilization(late) >= utilization(frozen)
+
+    def test_refresh_never_strands_jobs(self):
+        # A group whose estimate climbs back to the request after failures:
+        # queued big jobs must not become unsatisfiable mid-queue.
+        cluster = Cluster([(8, 24.0), (8, 32.0)])
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=10.0, procs=2, used_mem=5.0),
+            make_job(job_id=2, submit_time=15.0, run_time=10.0, procs=2, used_mem=5.0),
+            make_job(job_id=3, submit_time=30.0, run_time=50.0, procs=8, used_mem=30.0),
+            make_job(job_id=4, submit_time=31.0, run_time=10.0, procs=16, used_mem=5.0),
+        ]
+        result = Simulation(
+            make_workload(jobs),
+            cluster,
+            estimator=SuccessiveApproximation(),
+            failure_model=FailureModel(rng=0),
+        ).run()
+        assert result.n_completed == 4
+
+
+class TestRetryGuardIsolation:
+    def test_guard_success_does_not_raise_group_estimate(self):
+        ladder = CapacityLadder([24.0, 32.0])
+        est = SuccessiveApproximation(max_reduced_attempts=2)
+        est.bind(ladder)
+        job = make_job(req_mem=32.0, used_mem=30.0, user_id=3)
+        sibling = make_job(job_id=2, req_mem=32.0, used_mem=5.0, user_id=3)
+        # Descend the group to 24 via the sibling.
+        for _ in range(2):
+            req = est.estimate(sibling)
+            est.observe(
+                Feedback(job=sibling, succeeded=True, requirement=req, granted=32.0)
+            )
+        assert est.estimate(sibling) == 24.0
+        # The 30MB job fails at 24, escalates through the guard, succeeds at 32.
+        est.observe(Feedback(job=job, succeeded=False, requirement=24.0, granted=24.0))
+        est.observe(
+            Feedback(job=job, succeeded=True, requirement=32.0, granted=32.0, attempt=2)
+        )
+        # The group's learned estimate survives the guarded success.
+        assert est.estimate(sibling) == 24.0
+
+    def test_guard_failure_does_not_decay_group_alpha(self):
+        ladder = CapacityLadder([24.0, 32.0])
+        est = SuccessiveApproximation(alpha=2.0, beta=0.0)
+        est.bind(ladder)
+        job = make_job(req_mem=32.0, used_mem=5.0)
+        req = est.estimate(job)
+        est.observe(Feedback(job=job, succeeded=True, requirement=req, granted=32.0))
+        # A spurious failure on a guard-escalated attempt leaves alpha alone.
+        est.observe(
+            Feedback(job=job, succeeded=False, requirement=32.0, granted=32.0, attempt=5)
+        )
+        assert est.group_state_for(job).alpha == 2.0

@@ -1,0 +1,119 @@
+"""Scheduling metrics: utilization, slowdown, saturation detection."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import (
+    bounded_slowdown,
+    mean_slowdown,
+    mean_wait_time,
+    saturation_point,
+    saturation_utilization,
+    utilization,
+    wasted_fraction,
+)
+from repro.sim.engine import simulate
+from repro.cluster.cluster import Cluster
+from tests.conftest import make_job, make_workload
+
+
+def one_job_result(run_time=100.0, procs=4, nodes=8):
+    w = make_workload([make_job(run_time=run_time, procs=procs)])
+    return simulate(w, Cluster([(nodes, 32.0)]))
+
+
+class TestUtilization:
+    def test_single_job(self):
+        # 4 procs x 100s of work over an 8-node machine for 100s => 0.5.
+        result = one_job_result()
+        assert utilization(result) == pytest.approx(0.5)
+
+    def test_full_machine(self):
+        result = one_job_result(procs=8)
+        assert utilization(result) == pytest.approx(1.0)
+
+    def test_wasted_fraction_zero_without_failures(self):
+        assert wasted_fraction(one_job_result()) == 0.0
+
+
+class TestSlowdown:
+    def test_no_wait_is_one(self):
+        assert mean_slowdown(one_job_result()) == pytest.approx(1.0)
+
+    def test_waiting_inflates(self):
+        w = make_workload(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, procs=8),
+                make_job(job_id=2, submit_time=0.0, run_time=100.0, procs=8),
+            ]
+        )
+        result = simulate(w, Cluster([(8, 32.0)]))
+        # Second job waits 100s then runs 100s: slowdown 2; mean = 1.5.
+        assert mean_slowdown(result) == pytest.approx(1.5)
+
+    def test_bounded_slowdown_clamps_short_jobs(self):
+        w = make_workload(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, procs=8),
+                make_job(job_id=2, submit_time=0.0, run_time=1.0, procs=8),
+            ]
+        )
+        result = simulate(w, Cluster([(8, 32.0)]))
+        # The 1s job waits 100s: raw slowdown 101, bounded (threshold 10) 10.1.
+        assert mean_slowdown(result) > bounded_slowdown(result, threshold=10.0)
+
+    def test_mean_wait(self):
+        w = make_workload(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, procs=8),
+                make_job(job_id=2, submit_time=0.0, run_time=100.0, procs=8),
+            ]
+        )
+        result = simulate(w, Cluster([(8, 32.0)]))
+        assert mean_wait_time(result) == pytest.approx(50.0)
+
+
+class TestSaturationPoint:
+    def test_clean_knee(self):
+        loads = [0.2, 0.4, 0.6, 0.8, 1.0]
+        utils = [0.2, 0.4, 0.6, 0.62, 0.62]  # saturates at ~0.6
+        point = saturation_point(loads, utils)
+        assert point.load == 0.6
+        assert point.utilization == pytest.approx(0.6)
+        assert point.max_utilization == pytest.approx(0.62)
+
+    def test_never_saturates(self):
+        loads = [0.2, 0.4, 0.6]
+        utils = [0.2, 0.4, 0.6]
+        point = saturation_point(loads, utils)
+        assert point.load == 0.6
+
+    def test_saturated_from_start(self):
+        loads = [0.5, 0.8]
+        utils = [0.3, 0.3]
+        point = saturation_point(loads, utils)
+        assert point.load == 0.5
+
+    def test_unsorted_input_handled(self):
+        point = saturation_point([0.8, 0.2], [0.35, 0.2])
+        assert point.load == 0.2
+
+    def test_shorthand(self):
+        assert saturation_utilization([0.2, 0.8], [0.2, 0.5]) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saturation_point([], [])
+        with pytest.raises(ValueError):
+            saturation_point([0.1], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            saturation_point([0.1], [0.1], tolerance=2.0)
+
+
+class TestEmptyResults:
+    def test_nan_for_empty(self):
+        w = make_workload([make_job(procs=100)])  # rejected: too big
+        result = simulate(w, Cluster([(8, 32.0)]))
+        assert np.isnan(mean_slowdown(result))
+        assert np.isnan(mean_wait_time(result))
+        assert utilization(result) == 0.0

@@ -1,0 +1,58 @@
+"""Tail (percentile) metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.sim import simulate, slowdown_percentile, wait_time_percentile
+from tests.conftest import make_job, make_workload
+
+
+def serialized_result(n=10):
+    """n full-machine jobs arriving together: slowdowns 1, 2, ..., n."""
+    jobs = [make_job(job_id=i + 1, submit_time=0.0, run_time=100.0, procs=8) for i in range(n)]
+    return simulate(make_workload(jobs), Cluster([(8, 32.0)]))
+
+
+class TestPercentiles:
+    def test_median_slowdown(self):
+        result = serialized_result(9)  # slowdowns 1..9
+        assert slowdown_percentile(result, 50.0) == pytest.approx(5.0)
+
+    def test_tail_exceeds_mean(self):
+        from repro.sim import mean_slowdown
+
+        result = serialized_result(20)
+        assert slowdown_percentile(result, 95.0) > mean_slowdown(result)
+
+    def test_wait_percentile(self):
+        result = serialized_result(5)  # waits 0, 100, ..., 400
+        assert wait_time_percentile(result, 100.0) == pytest.approx(400.0)
+        assert wait_time_percentile(result, 0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_percentile(self):
+        result = serialized_result(15)
+        values = [slowdown_percentile(result, p) for p in (10, 50, 90, 99)]
+        assert values == sorted(values)
+
+    def test_empty_result_nan(self):
+        result = simulate(make_workload([make_job(procs=100)]), Cluster([(8, 32.0)]))
+        assert np.isnan(slowdown_percentile(result))
+        assert np.isnan(wait_time_percentile(result))
+
+    def test_validation(self):
+        result = serialized_result(2)
+        with pytest.raises(ValueError):
+            slowdown_percentile(result, 101.0)
+        with pytest.raises(ValueError):
+            wait_time_percentile(result, -1.0)
+
+    def test_estimation_improves_tail_on_paper_cluster(self, sim_trace):
+        from repro.cluster import paper_cluster
+        from repro.core import NoEstimation, SuccessiveApproximation
+
+        base = simulate(sim_trace, paper_cluster(24.0), estimator=NoEstimation(), seed=1)
+        est = simulate(
+            sim_trace, paper_cluster(24.0), estimator=SuccessiveApproximation(), seed=1
+        )
+        assert slowdown_percentile(est, 95.0) <= slowdown_percentile(base, 95.0) * 1.05

@@ -1,0 +1,116 @@
+"""Scheduling policies: FCFS head blocking, SJF ordering, EASY backfilling."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.sim.policies import (
+    EasyBackfilling,
+    Fcfs,
+    QueuedJob,
+    RunningJob,
+    ShortestJobFirst,
+)
+from tests.conftest import make_job
+
+
+def entry(job_id=1, procs=4, requirement=32.0, req_time=100.0, enqueue=0.0):
+    job = make_job(job_id=job_id, procs=procs, req_time=req_time)
+    return QueuedJob(job=job, attempt=0, requirement=requirement, enqueue_time=enqueue)
+
+
+class TestFcfs:
+    def test_empty_queue(self):
+        assert Fcfs().select(0.0, [], Cluster([(8, 32.0)]), []) is None
+
+    def test_head_starts_when_it_fits(self):
+        cluster = Cluster([(8, 32.0)])
+        queue = [entry(1, procs=4), entry(2, procs=4)]
+        assert Fcfs().select(0.0, queue, cluster, []) == 0
+
+    def test_head_blocks_everything(self):
+        cluster = Cluster([(8, 32.0)])
+        queue = [entry(1, procs=16), entry(2, procs=1)]  # head cannot fit
+        assert Fcfs().select(0.0, queue, cluster, []) is None
+
+    def test_requirement_checked(self):
+        cluster = Cluster([(8, 24.0)])
+        queue = [entry(1, procs=1, requirement=32.0)]
+        assert Fcfs().select(0.0, queue, cluster, []) is None
+
+
+class TestSjf:
+    def test_picks_shortest_estimate(self):
+        cluster = Cluster([(8, 32.0)])
+        queue = [entry(1, req_time=500.0), entry(2, req_time=50.0)]
+        assert ShortestJobFirst().select(0.0, queue, cluster, []) == 1
+
+    def test_shortest_blocks_if_unfit(self):
+        cluster = Cluster([(8, 32.0)])
+        queue = [entry(1, procs=2, req_time=500.0), entry(2, procs=16, req_time=50.0)]
+        assert ShortestJobFirst().select(0.0, queue, cluster, []) is None
+
+    def test_tie_broken_by_arrival(self):
+        cluster = Cluster([(8, 32.0)])
+        queue = [entry(1, req_time=100.0, enqueue=5.0), entry(2, req_time=100.0, enqueue=1.0)]
+        assert ShortestJobFirst().select(0.0, queue, cluster, []) == 1
+
+
+class TestEasyBackfilling:
+    def make_setup(self):
+        """Head needs 8 nodes; 4 are busy until t=100; 4 free now."""
+        cluster = Cluster([(8, 32.0)])
+        running_alloc = cluster.allocate(4, 32.0)
+        running = [RunningJob(end_time=100.0, allocation=running_alloc, procs=4)]
+        return cluster, running
+
+    def test_head_starts_when_it_fits(self):
+        cluster = Cluster([(8, 32.0)])
+        queue = [entry(1, procs=4)]
+        assert EasyBackfilling().select(0.0, queue, cluster, []) == 0
+
+    def test_backfills_short_job(self):
+        cluster, running = self.make_setup()
+        queue = [
+            entry(1, procs=8),  # head: must wait for t=100
+            entry(2, procs=4, req_time=50.0),  # fits now, done before 100
+        ]
+        assert EasyBackfilling().select(0.0, queue, cluster, running) == 1
+
+    def test_does_not_backfill_reservation_breaker(self):
+        cluster, running = self.make_setup()
+        queue = [
+            entry(1, procs=8),  # reservation at t=100
+            entry(2, procs=4, req_time=500.0),  # would hold nodes past 100
+        ]
+        assert EasyBackfilling().select(0.0, queue, cluster, running) is None
+
+    def test_backfills_non_conflicting_long_job(self):
+        # Head needs only the 32MB tier; a long small-memory job on the other
+        # tier does not delay it.
+        cluster = Cluster([(8, 32.0), (8, 8.0)])
+        alloc = cluster.allocate(4, 32.0)
+        running = [RunningJob(end_time=100.0, allocation=alloc, procs=4)]
+        queue = [
+            entry(1, procs=8, requirement=32.0),
+            entry(2, procs=8, requirement=8.0, req_time=10_000.0),
+        ]
+        assert EasyBackfilling().select(0.0, queue, cluster, running) == 1
+
+    def test_backfill_candidate_must_fit_now(self):
+        cluster, running = self.make_setup()
+        queue = [
+            entry(1, procs=8),
+            entry(2, procs=16, req_time=10.0),  # bigger than the machine
+        ]
+        assert EasyBackfilling().select(0.0, queue, cluster, running) is None
+
+    def test_hypothetical_allocation_rolled_back(self):
+        cluster, running = self.make_setup()
+        free_before = cluster.snapshot_free()
+        queue = [entry(1, procs=8), entry(2, procs=4, req_time=500.0)]
+        EasyBackfilling().select(0.0, queue, cluster, running)
+        assert cluster.snapshot_free() == free_before
+
+    def test_needs_running_flag(self):
+        assert EasyBackfilling.needs_running
+        assert not Fcfs.needs_running

@@ -1,0 +1,122 @@
+"""Similarity-group construction: online index vs offline builder."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.similarity.groups import GroupStats, SimilarityIndex, build_groups
+from repro.similarity.keys import by_user_app_reqmem
+from tests.conftest import make_job, unique_jobs_strategy
+
+
+class TestGroupStats:
+    def test_add_updates_extremes(self):
+        stats = GroupStats(key="k")
+        stats.add(make_job(used_mem=8.0, submit_time=10.0))
+        stats.add(make_job(job_id=2, used_mem=2.0, submit_time=5.0))
+        assert stats.n_jobs == 2
+        assert stats.min_used == 2.0
+        assert stats.max_used == 8.0
+        assert stats.first_seen == 5.0
+        assert stats.last_seen == 10.0
+
+    def test_similarity_range_definition(self):
+        stats = GroupStats(key="k")
+        stats.add(make_job(used_mem=4.0))
+        stats.add(make_job(job_id=2, used_mem=12.0))
+        assert stats.similarity_range == pytest.approx(3.0)
+
+    def test_potential_gain_definition(self):
+        stats = GroupStats(key="k")
+        stats.add(make_job(req_mem=32.0, used_mem=4.0))
+        stats.add(make_job(job_id=2, req_mem=32.0, used_mem=8.0))
+        # gain = requested / MAX used
+        assert stats.potential_gain == pytest.approx(4.0)
+
+    def test_mean_used(self):
+        stats = GroupStats(key="k")
+        stats.add(make_job(used_mem=2.0))
+        stats.add(make_job(job_id=2, used_mem=6.0))
+        assert stats.mean_used == pytest.approx(4.0)
+
+    def test_empty_group_nan_metrics(self):
+        stats = GroupStats(key="k")
+        assert stats.similarity_range != stats.similarity_range  # NaN
+        assert stats.potential_gain != stats.potential_gain
+
+
+class TestSimilarityIndex:
+    def test_lookup_creates_group_once(self):
+        index = SimilarityIndex()
+        job = make_job()
+        key1, existed1 = index.lookup(job)
+        key2, existed2 = index.lookup(job)
+        assert key1 == key2
+        assert not existed1
+        assert existed2
+        assert len(index) == 1
+
+    def test_observe_accumulates(self):
+        index = SimilarityIndex()
+        index.observe(make_job(used_mem=2.0))
+        stats = index.observe(make_job(job_id=2, used_mem=6.0))
+        assert stats.n_jobs == 2
+
+    def test_different_users_different_groups(self):
+        index = SimilarityIndex()
+        index.observe(make_job(user_id=1))
+        index.observe(make_job(job_id=2, user_id=2))
+        assert len(index) == 2
+
+    def test_get_unknown_key(self):
+        assert SimilarityIndex().get(("nope",)) is None
+
+    def test_key_of_matches_lookup(self):
+        index = SimilarityIndex()
+        job = make_job()
+        assert index.key_of(job) == index.lookup(job)[0]
+
+    def test_contains(self):
+        index = SimilarityIndex()
+        job = make_job()
+        assert index.key_of(job) not in index
+        index.observe(job)
+        assert index.key_of(job) in index
+
+    def test_custom_key_function(self):
+        index = SimilarityIndex(key_fn=lambda j: j.app_id)
+        index.observe(make_job(app_id=1, user_id=1))
+        index.observe(make_job(job_id=2, app_id=1, user_id=2))
+        assert len(index) == 1
+
+
+class TestOfflineOnlineEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(unique_jobs_strategy(min_size=1, max_size=30))
+    def test_build_groups_equals_incremental_observation(self, jobs):
+        offline = build_groups(jobs)
+        index = SimilarityIndex()
+        for job in jobs:
+            index.observe(job)
+        online = {g.key: g for g in index.groups()}
+        assert offline.keys() == online.keys()
+        for key in offline:
+            a, b = offline[key], online[key]
+            assert a.n_jobs == b.n_jobs
+            assert a.min_used == b.min_used
+            assert a.max_used == b.max_used
+
+    @settings(max_examples=30, deadline=None)
+    @given(unique_jobs_strategy(min_size=1, max_size=30))
+    def test_groups_partition_the_jobs(self, jobs):
+        groups = build_groups(jobs)
+        assert sum(g.n_jobs for g in groups.values()) == len(jobs)
+        keys = {by_user_app_reqmem(j) for j in jobs}
+        assert set(groups) == keys
+
+    @settings(max_examples=30, deadline=None)
+    @given(unique_jobs_strategy(min_size=1, max_size=30))
+    def test_extremes_bound_usage(self, jobs):
+        groups = build_groups(jobs)
+        for job in jobs:
+            g = groups[by_user_app_reqmem(job)]
+            assert g.min_used <= job.used_mem <= g.max_used

@@ -1,0 +1,60 @@
+"""Similarity key functions."""
+
+import pytest
+
+from repro.similarity.keys import (
+    by_job_id,
+    by_user_app,
+    by_user_app_reqmem,
+    make_key_function,
+)
+from tests.conftest import make_job
+
+
+class TestBuiltinKeys:
+    def test_paper_key(self):
+        job = make_job(user_id=3, app_id=7, req_mem=32.0)
+        assert by_user_app_reqmem(job) == (3, 7, 32.0)
+
+    def test_paper_key_distinguishes_req_mem(self):
+        a = make_job(user_id=3, app_id=7, req_mem=32.0)
+        b = make_job(user_id=3, app_id=7, req_mem=16.0, used_mem=4.0)
+        assert by_user_app_reqmem(a) != by_user_app_reqmem(b)
+
+    def test_user_app_key_ignores_req_mem(self):
+        a = make_job(user_id=3, app_id=7, req_mem=32.0)
+        b = make_job(user_id=3, app_id=7, req_mem=16.0, used_mem=4.0)
+        assert by_user_app(a) == by_user_app(b)
+
+    def test_job_id_key(self):
+        assert by_job_id(make_job(job_id=42)) == 42
+
+
+class TestMakeKeyFunction:
+    def test_reproduces_paper_key(self):
+        fn = make_key_function(["user", "app", "req_mem"])
+        job = make_job(user_id=1, app_id=2, req_mem=24.0, used_mem=4.0)
+        assert fn(job) == by_user_app_reqmem(job)
+
+    def test_all_named_fields(self):
+        fn = make_key_function(
+            ["user", "group", "app", "req_mem", "req_time", "procs", "job_id"]
+        )
+        job = make_job()
+        key = fn(job)
+        assert len(key) == 7
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown similarity field"):
+            make_key_function(["user", "nope"])
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            make_key_function([])
+
+    def test_name_reflects_fields(self):
+        assert make_key_function(["user", "app"]).__name__ == "by_user_app"
+
+    def test_keys_are_hashable(self):
+        fn = make_key_function(["user", "req_mem"])
+        {fn(make_job())}  # must not raise

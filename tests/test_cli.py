@@ -1,0 +1,84 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import ESTIMATORS, POLICIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_estimators_constructible(self):
+        for name, factory in ESTIMATORS.items():
+            est = factory(0)
+            assert hasattr(est, "estimate"), name
+
+    def test_all_policies_constructible(self):
+        for name, factory in POLICIES.items():
+            assert hasattr(factory(), "select"), name
+
+
+class TestQuickstart:
+    def test_runs(self, capsys):
+        assert main(["quickstart", "--jobs", "800", "--load", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization with estimation" in out
+
+
+class TestGenerateAnalyze:
+    def test_generate_then_analyze(self, tmp_path, capsys):
+        swf = tmp_path / "t.swf"
+        assert main(["generate", str(swf), "--jobs", "1000"]) == 0
+        assert swf.exists()
+        capsys.readouterr()
+        assert main(["analyze", "--trace", str(swf)]) == 0
+        out = capsys.readouterr().out
+        assert "over-provisioning" in out
+        assert "similarity" in out
+
+    def test_analyze_synthetic(self, capsys):
+        assert main(["analyze", "--jobs", "1000"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("estimator", ["none", "successive", "oracle"])
+    def test_estimators(self, estimator, capsys):
+        rc = main(
+            ["simulate", "--jobs", "800", "--estimator", estimator, "--load", "0.7"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "utilization:" in out
+
+    def test_policy_option(self, capsys):
+        assert main(["simulate", "--jobs", "500", "--policy", "sjf"]) == 0
+
+    def test_tier2_option(self, capsys):
+        assert main(["simulate", "--jobs", "500", "--tier2", "16"]) == 0
+        assert "utilization" in capsys.readouterr().out
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("name", ["fig1", "fig7"])
+    def test_cheap_experiments(self, name, capsys):
+        assert main(["experiment", name, "--jobs", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig2"])
+
+
+class TestDesign:
+    def test_ranks_candidates(self, capsys):
+        rc = main(["design", "--jobs", "1500", "--candidates", "8", "16", "24"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "benefiting nodes" in out
+        # All three candidates appear.
+        for m in ("8", "16", "24"):
+            assert m in out

@@ -1,0 +1,73 @@
+"""Public API surface: __all__ consistency and import hygiene."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.workload",
+    "repro.similarity",
+    "repro.cluster",
+    "repro.sim",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+class TestPublicSurface:
+    def test_all_names_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    def test_all_is_sorted(self, name):
+        module = importlib.import_module(name)
+        exported = [s for s in module.__all__ if s != "__version__"]
+        assert exported == sorted(exported), f"{name}.__all__ unsorted"
+
+    def test_module_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestExperimentModulesAreUniform:
+    @pytest.mark.parametrize(
+        "name",
+        ["fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1",
+         "falsepositives", "policies_exp", "replication"],
+    )
+    def test_run_and_main_exist(self, name):
+        module = importlib.import_module(f"repro.experiments.{name}")
+        assert callable(module.run)
+        assert callable(module.main)
+
+    def test_cli_experiment_list_matches_modules(self):
+        from repro.cli import EXPERIMENTS
+
+        for name in EXPERIMENTS:
+            importlib.import_module(f"repro.experiments.{name}")
+
+
+class TestDocCoverage:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_every_public_callable_documented(self, name):
+        module = importlib.import_module(name)
+        undocumented = []
+        for symbol in module.__all__:
+            obj = getattr(module, symbol, None)
+            if obj is None or isinstance(obj, (int, float, str, tuple, dict)):
+                continue
+            if type(obj).__module__ == "typing":
+                continue  # type aliases carry no docstrings
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"{name}.{symbol}")
+        assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,47 @@
+"""Deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_children
+
+
+class TestAsGenerator:
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        gen = as_generator(ss)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnChildren:
+    def test_reproducible(self):
+        a = [g.random() for g in spawn_children(0, 3)]
+        b = [g.random() for g in spawn_children(0, 3)]
+        assert a == b
+
+    def test_children_are_independent_streams(self):
+        children = spawn_children(0, 2)
+        assert children[0].random() != children[1].random()
+
+    def test_count(self):
+        assert len(spawn_children(0, 7)) == 7
+        assert spawn_children(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)

@@ -1,0 +1,57 @@
+"""Unit conversions and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    KB_PER_MB,
+    SECONDS_PER_DAY,
+    format_duration,
+    format_mb,
+    kb_to_mb,
+    mb_to_kb,
+)
+
+
+class TestConversions:
+    def test_kb_to_mb_basic(self):
+        assert kb_to_mb(1024) == 1.0
+        assert kb_to_mb(32 * 1024) == 32.0
+
+    def test_mb_to_kb_basic(self):
+        assert mb_to_kb(1.0) == 1024
+        assert mb_to_kb(0.5) == 512
+
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_round_trip(self, kb):
+        assert math.isclose(mb_to_kb(kb_to_mb(kb)), kb, rel_tol=1e-12, abs_tol=1e-9)
+
+    def test_constant_consistency(self):
+        assert KB_PER_MB == 1024
+
+
+class TestFormatMb:
+    def test_integral_value_has_no_decimals(self):
+        assert format_mb(32.0) == "32MB"
+
+    def test_fractional_value_keeps_two_decimals(self):
+        assert format_mb(12.5) == "12.50MB"
+
+
+class TestFormatDuration:
+    def test_zero(self):
+        assert format_duration(0) == "00:00:00"
+
+    def test_hours_minutes_seconds(self):
+        assert format_duration(3661) == "01:01:01"
+
+    def test_days(self):
+        assert format_duration(2 * SECONDS_PER_DAY + 3600) == "2d 01:00:00"
+
+    def test_negative(self):
+        assert format_duration(-60) == "-00:01:00"
+
+    def test_rounds_fractional_seconds(self):
+        assert format_duration(59.6) == "00:01:00"

@@ -1,0 +1,65 @@
+"""Argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        assert check_finite("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_finite("x", bad)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.1) == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError, match="> 0"):
+            check_in_range("x", 0.0, 0.0, 1.0, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError, match="< 1"):
+            check_in_range("x", 1.0, 0.0, 1.0, high_inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 2.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("x", -1.0, 0.0, 1.0)
+
+    def test_one_sided(self):
+        assert check_in_range("x", 100.0, low=0.0) == 100.0
+        assert check_in_range("x", -5.0, high=0.0) == -5.0

@@ -1,0 +1,133 @@
+"""Arrival-process models and the generator's diurnal warp."""
+
+import numpy as np
+import pytest
+
+from repro.util.units import SECONDS_PER_DAY
+from repro.workload.arrivals import retime_diurnal, retime_poisson
+from repro.workload.synthetic import SyntheticTraceConfig, _diurnal_warp, generate_trace
+from tests.conftest import make_job, make_workload
+
+
+def sample_workload(n=200, span=10 * SECONDS_PER_DAY):
+    jobs = [
+        make_job(job_id=i + 1, submit_time=span * i / n, run_time=100.0)
+        for i in range(n)
+    ]
+    return make_workload(jobs)
+
+
+class TestRetimePoisson:
+    def test_preserves_jobs_and_count(self):
+        w = sample_workload()
+        p = retime_poisson(w, rng=0)
+        assert len(p) == len(w)
+        assert sorted(j.job_id for j in p) == sorted(j.job_id for j in w)
+        assert {j.run_time for j in p} == {100.0}
+
+    def test_times_within_duration(self):
+        w = sample_workload()
+        p = retime_poisson(w, duration=1000.0, rng=0)
+        assert all(0 <= j.submit_time <= 1000.0 for j in p)
+
+    def test_deterministic(self):
+        w = sample_workload()
+        a = retime_poisson(w, rng=5)
+        b = retime_poisson(w, rng=5)
+        assert [j.submit_time for j in a] == [j.submit_time for j in b]
+
+    def test_interarrivals_look_exponential(self):
+        w = sample_workload(n=5000)
+        p = retime_poisson(w, duration=1e6, rng=0)
+        gaps = np.diff([j.submit_time for j in p])
+        # Exponential: std ~ mean.
+        assert np.std(gaps) == pytest.approx(np.mean(gaps), rel=0.1)
+
+    def test_empty_workload(self):
+        w = make_workload([])
+        assert retime_poisson(w, rng=0) is w
+
+
+class TestRetimeDiurnal:
+    def test_day_night_contrast(self):
+        w = sample_workload(n=20000)
+        d = retime_diurnal(w, duration=28 * SECONDS_PER_DAY, day_night_ratio=6.0, rng=0)
+        hours = (np.array([j.submit_time for j in d]) % SECONDS_PER_DAY) / 3600
+        day = np.mean((hours >= 8) & (hours < 20))
+        # Daytime is half the clock but should carry much more than half
+        # the arrivals at ratio 6 (expected 6/7 ~ 0.86).
+        assert day > 0.75
+
+    def test_weekend_suppression(self):
+        w = sample_workload(n=20000)
+        d = retime_diurnal(
+            w, duration=28 * SECONDS_PER_DAY, weekend_factor=0.25, rng=0
+        )
+        dow = (np.array([j.submit_time for j in d]) // SECONDS_PER_DAY) % 7
+        weekend = np.mean(dow >= 5)
+        assert weekend < 2 / 7 * 0.7  # clearly below the uniform share
+
+    def test_count_preserved(self):
+        w = sample_workload()
+        assert len(retime_diurnal(w, rng=0)) == len(w)
+
+    def test_validation(self):
+        w = sample_workload()
+        with pytest.raises(ValueError):
+            retime_diurnal(w, day_night_ratio=0.0, rng=0)
+        with pytest.raises(ValueError):
+            retime_diurnal(w, weekend_factor=0.0, rng=0)
+
+
+class TestGeneratorDiurnalWarp:
+    def test_warp_is_monotone(self):
+        t = np.linspace(0, 14 * SECONDS_PER_DAY, 5000)
+        warped = _diurnal_warp(t, 14 * SECONDS_PER_DAY, 4.0, 0.5)
+        assert np.all(np.diff(warped) >= 0)
+        assert warped[0] >= 0
+        assert warped[-1] <= 14 * SECONDS_PER_DAY
+
+    def test_warp_concentrates_daytime(self):
+        rng = np.random.default_rng(0)
+        t = rng.uniform(0, 28 * SECONDS_PER_DAY, size=50000)
+        warped = _diurnal_warp(t, 28 * SECONDS_PER_DAY, 4.0, 1.0)
+        hours = (warped % SECONDS_PER_DAY) / 3600
+        day = np.mean((hours >= 8) & (hours < 20))
+        assert day == pytest.approx(4 / 5, abs=0.05)  # 4x intensity over half the day
+
+    def test_generator_diurnal_toggle(self):
+        import dataclasses
+
+        base = SyntheticTraceConfig.lanl_cm5(3000)
+        flat = generate_trace(dataclasses.replace(base, diurnal=False), rng=0)
+        cyc = generate_trace(dataclasses.replace(base, diurnal=True), rng=0)
+        hours_cyc = (np.array([j.submit_time for j in cyc]) % SECONDS_PER_DAY) / 3600
+        hours_flat = (np.array([j.submit_time for j in flat]) % SECONDS_PER_DAY) / 3600
+        day_cyc = np.mean((hours_cyc >= 8) & (hours_cyc < 20))
+        day_flat = np.mean((hours_flat >= 8) & (hours_flat < 20))
+        assert day_cyc > day_flat + 0.15
+
+    def test_group_clustering_survives_warp(self):
+        # The warp is order-preserving, so group activity windows stay much
+        # tighter than the uniform-spread alternative.
+        import collections
+        import dataclasses
+
+        def median_group_span(w):
+            by_group = collections.defaultdict(list)
+            for j in w:
+                if j.procs < 1024:
+                    by_group[(j.user_id, j.app_id, j.req_mem)].append(j.submit_time)
+            spans = [
+                max(t) - min(t) for t in by_group.values() if len(t) >= 5
+            ]
+            return np.median(spans)
+
+        # Needs a trace long enough that the 30-day group windows are small
+        # relative to the duration (~4 months here).
+        cfg = SyntheticTraceConfig.lanl_cm5(20_000)
+        clustered = generate_trace(cfg, rng=0)
+        spread = generate_trace(
+            dataclasses.replace(cfg, cluster_in_time=False), rng=0
+        )
+        assert median_group_span(clustered) < 0.6 * median_group_span(spread)

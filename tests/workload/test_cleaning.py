@@ -1,0 +1,103 @@
+"""Flurry detection and removal (archive-style trace cleaning)."""
+
+import pytest
+
+from repro.util.units import SECONDS_PER_HOUR
+from repro.workload.cleaning import detect_flurries, inject_flurry, remove_flurries
+from tests.conftest import make_job, make_workload
+
+
+def quiet_workload(n=30, gap=3600.0):
+    """One job per hour: far below any flurry threshold."""
+    return make_workload(
+        [
+            make_job(job_id=i + 1, submit_time=i * gap, user_id=i % 3)
+            for i in range(n)
+        ]
+    )
+
+
+class TestDetect:
+    def test_quiet_trace_clean(self):
+        assert detect_flurries(quiet_workload(), threshold=10) == []
+
+    def test_detects_injected_flurry(self):
+        w = inject_flurry(quiet_workload(), user_id=7, start_time=5000.0, n_jobs=80)
+        flurries = detect_flurries(w, threshold=50, window=SECONDS_PER_HOUR)
+        assert len(flurries) == 1
+        f = flurries[0]
+        assert f.user_id == 7
+        assert f.n_jobs >= 50
+        assert f.start_time >= 5000.0
+
+    def test_threshold_respected(self):
+        w = inject_flurry(quiet_workload(), user_id=7, start_time=5000.0, n_jobs=40)
+        assert detect_flurries(w, threshold=50) == []
+        assert detect_flurries(w, threshold=30)
+
+    def test_two_users_two_flurries(self):
+        w = inject_flurry(quiet_workload(), user_id=7, start_time=5000.0, n_jobs=60)
+        w = inject_flurry(w, user_id=8, start_time=90_000.0, n_jobs=60)
+        flurries = detect_flurries(w, threshold=50)
+        assert {f.user_id for f in flurries} == {7, 8}
+
+    def test_separated_bursts_of_one_user(self):
+        w = quiet_workload()
+        w = inject_flurry(w, user_id=7, start_time=5_000.0, n_jobs=60)
+        w = inject_flurry(w, user_id=7, start_time=500_000.0, n_jobs=60)
+        flurries = detect_flurries(w, threshold=50)
+        assert len(flurries) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_flurries(quiet_workload(), threshold=1)
+        with pytest.raises(ValueError):
+            detect_flurries(quiet_workload(), window=0.0)
+
+
+class TestRemove:
+    def test_removes_only_flurry_jobs(self):
+        base = quiet_workload()
+        w = inject_flurry(base, user_id=7, start_time=5000.0, n_jobs=80)
+        cleaned, flurries = remove_flurries(w, threshold=50)
+        assert len(flurries) == 1
+        # All original jobs survive; the flurry is (mostly) gone.
+        surviving_ids = {j.job_id for j in cleaned}
+        assert {j.job_id for j in base} <= surviving_ids
+        assert len(cleaned) < len(w)
+        assert len(w) - len(cleaned) >= 50
+
+    def test_clean_trace_untouched(self):
+        w = quiet_workload()
+        cleaned, flurries = remove_flurries(w, threshold=50)
+        assert flurries == []
+        assert cleaned is w
+
+    def test_other_users_jobs_in_window_survive(self):
+        base = quiet_workload()
+        w = inject_flurry(base, user_id=7, start_time=5000.0, n_jobs=80)
+        cleaned, _ = remove_flurries(w, threshold=50)
+        # User 0/1/2 jobs inside the flurry window are kept.
+        others_before = [j for j in w if j.user_id != 7]
+        others_after = [j for j in cleaned if j.user_id != 7]
+        assert len(others_before) == len(others_after)
+
+
+class TestInject:
+    def test_ids_continue(self):
+        w = quiet_workload(n=5)
+        out = inject_flurry(w, user_id=9, start_time=0.0, n_jobs=3)
+        assert len(out) == 8
+        assert max(j.job_id for j in out) == 8
+
+    def test_template_respected(self):
+        template = make_job(job_id=0, procs=16, req_mem=16.0, used_mem=2.0)
+        out = inject_flurry(
+            quiet_workload(n=2), user_id=9, start_time=0.0, n_jobs=2, template=template
+        )
+        injected = [j for j in out if j.user_id == 9]
+        assert all(j.procs == 16 for j in injected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inject_flurry(quiet_workload(), user_id=1, start_time=0.0, n_jobs=0)

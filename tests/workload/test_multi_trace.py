@@ -1,0 +1,85 @@
+"""Multi-resource workload generator."""
+
+import pytest
+
+from repro.workload.multi import (
+    MultiTraceConfig,
+    ResourceSpec,
+    default_multi_cluster,
+    generate_multi_trace,
+)
+
+
+class TestGenerate:
+    def test_count_and_determinism(self):
+        a = generate_multi_trace(MultiTraceConfig(n_jobs=100), rng=0)
+        b = generate_multi_trace(MultiTraceConfig(n_jobs=100), rng=0)
+        assert len(a) == 100
+        assert [(j.submit_time, j.used["mem"]) for j in a] == [
+            (j.submit_time, j.used["mem"]) for j in b
+        ]
+
+    def test_usage_never_exceeds_request(self):
+        jobs = generate_multi_trace(MultiTraceConfig(n_jobs=300), rng=1)
+        for job in jobs:
+            for res in job.requested:
+                assert job.used[res] <= job.requested[res] + 1e-9
+
+    def test_group_structure(self):
+        cfg = MultiTraceConfig(n_jobs=240, jobs_per_group=12)
+        jobs = generate_multi_trace(cfg, rng=0)
+        groups = {j.group for j in jobs}
+        assert len(groups) <= 20
+        # Same group => same usage (group-level ratios).
+        by_group = {}
+        for j in jobs:
+            by_group.setdefault(j.group, set()).add(round(j.used["mem"], 9))
+        assert all(len(usages) == 1 for usages in by_group.values())
+
+    def test_over_provisioning_floor(self):
+        spec = ResourceSpec(requested=10.0, ratio_floor=2.0, ratio_scale=0.5)
+        cfg = MultiTraceConfig(n_jobs=100, resources={"mem": spec})
+        jobs = generate_multi_trace(cfg, rng=0)
+        assert all(j.used["mem"] <= 5.0 + 1e-9 for j in jobs)
+
+    def test_custom_resources(self):
+        cfg = MultiTraceConfig(
+            n_jobs=50,
+            resources={
+                "mem": ResourceSpec(requested=16.0),
+                "gpu": ResourceSpec(requested=4.0),
+                "licenses": ResourceSpec(requested=2.0),
+            },
+        )
+        jobs = generate_multi_trace(cfg, rng=0)
+        assert set(jobs[0].requested) == {"mem", "gpu", "licenses"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiTraceConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            MultiTraceConfig(resources={})
+        with pytest.raises(ValueError):
+            ResourceSpec(requested=10.0, ratio_floor=0.5)
+
+
+class TestDefaultCluster:
+    def test_shape(self):
+        cluster = default_multi_cluster()
+        assert cluster.total_nodes == 128
+        assert cluster.resources == ["disk", "mem"]
+
+    def test_end_to_end_with_estimation(self):
+        from repro.core.multi_resource import CoordinateDescentEstimator
+        from repro.sim.multi import MultiSimulation
+
+        jobs = generate_multi_trace(MultiTraceConfig(n_jobs=200), rng=0)
+        base = MultiSimulation(jobs, default_multi_cluster(), seed=1).run()
+        est = MultiSimulation(
+            generate_multi_trace(MultiTraceConfig(n_jobs=200), rng=0),
+            default_multi_cluster(),
+            estimator=CoordinateDescentEstimator(alpha=2.0),
+            seed=1,
+        ).run()
+        assert len(base.outcomes) == len(est.outcomes) == 200
+        assert est.utilization >= base.utilization * 0.95

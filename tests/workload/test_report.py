@@ -1,0 +1,64 @@
+"""Trace characterization report."""
+
+import gzip
+
+import pytest
+
+from repro.workload.report import characterize
+from repro.workload.swf import read_swf, write_swf_text
+from tests.conftest import make_job, make_workload
+
+
+class TestCharacterize:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            characterize(make_workload([]))
+
+    def test_basic_counts(self, small_trace):
+        report = characterize(small_trace)
+        assert report.n_jobs == len(small_trace)
+        assert report.total_nodes == 1024
+        assert report.n_users > 10
+
+    def test_memory_mix_shares_sum_below_one(self, small_trace):
+        report = characterize(small_trace)
+        total = sum(share for _, share in report.req_mem_levels)
+        assert 0.9 <= total <= 1.0 + 1e-9
+        # 32MB is the dominant request level in the calibrated trace.
+        assert report.req_mem_levels[0][0] == 32.0
+
+    def test_percentiles_ordered(self, small_trace):
+        report = characterize(small_trace)
+        assert report.procs_p50 <= report.procs_p90 <= report.procs_p99
+        assert report.runtime_p50 <= report.runtime_p90 <= report.runtime_p99
+
+    def test_diurnal_peak_visible(self, small_trace):
+        report = characterize(small_trace)
+        # With day/night cycles the busiest hour clearly exceeds uniform 1/24.
+        assert report.peak_hour_share > 1.3 / 24
+
+    def test_overprovisioning_panel(self, small_trace):
+        report = characterize(small_trace)
+        assert 0.2 < report.frac_ratio_ge_2 < 0.45
+        assert report.max_ratio > 10
+
+    def test_format_report(self, small_trace):
+        text = characterize(small_trace).format_report()
+        assert "offered load" in text
+        assert "ratio >= 2" in text
+
+    def test_single_job_trace(self):
+        report = characterize(make_workload([make_job()]))
+        assert report.n_jobs == 1
+        assert report.mean_interarrival == 0.0
+
+
+class TestGzipSwf:
+    def test_reads_gz_files(self, tmp_path, small_trace):
+        text = write_swf_text(small_trace)
+        path = tmp_path / "trace.swf.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(text)
+        workload, report = read_swf(path)
+        assert report.parsed_jobs == len(small_trace)
+        assert workload.total_nodes == small_trace.total_nodes

@@ -1,0 +1,58 @@
+"""Temporal train/test splitting."""
+
+import pytest
+
+from repro.workload.splitting import split_by_time
+from tests.conftest import make_job, make_workload
+
+
+def linear_workload(n=100):
+    return make_workload(
+        [make_job(job_id=i + 1, submit_time=float(i * 10)) for i in range(n)]
+    )
+
+
+class TestSplitByTime:
+    def test_partition_is_complete_and_disjoint(self):
+        w = linear_workload()
+        train, test = split_by_time(w, 0.6, rebase_test=False)
+        ids = sorted(j.job_id for j in train) + sorted(j.job_id for j in test)
+        assert sorted(ids) == [j.job_id for j in w]
+        assert not set(j.job_id for j in train) & set(j.job_id for j in test)
+
+    def test_split_is_temporal(self):
+        train, test = split_by_time(linear_workload(), 0.5, rebase_test=False)
+        assert max(j.submit_time for j in train) < min(j.submit_time for j in test)
+
+    def test_fraction_respected(self):
+        train, test = split_by_time(linear_workload(), 0.25)
+        assert len(train) == pytest.approx(25, abs=2)
+
+    def test_rebase_test(self):
+        _, test = split_by_time(linear_workload(), 0.5, rebase_test=True)
+        assert test[0].submit_time == 0.0
+
+    def test_no_rebase(self):
+        _, test = split_by_time(linear_workload(), 0.5, rebase_test=False)
+        assert test[0].submit_time > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_by_time(linear_workload(), 0.0)
+        with pytest.raises(ValueError):
+            split_by_time(linear_workload(), 1.0)
+        with pytest.raises(ValueError):
+            split_by_time(make_workload([]), 0.5)
+
+    def test_out_of_sample_regression_workflow(self, small_trace):
+        # The intended use: fit the regression offline on the first half,
+        # evaluate estimates on the unseen second half.
+        from repro.cluster.ladder import CapacityLadder
+        from repro.core import RegressionEstimator
+
+        train, test = split_by_time(small_trace, 0.5)
+        est = RegressionEstimator(min_samples=50)
+        est.bind(CapacityLadder([24.0, 32.0]))
+        est.fit(train)
+        reduced = sum(1 for j in test.jobs[:200] if est.estimate(j) < j.req_mem)
+        assert reduced > 0

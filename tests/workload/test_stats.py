@@ -1,0 +1,128 @@
+"""Over-provisioning statistics (the Figure 1 analyses)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.stats import (
+    linear_fit,
+    log_linear_fit,
+    overprovisioning_histogram,
+    overprovisioning_stats,
+    ratio_at_least,
+)
+from tests.conftest import make_job, make_workload
+
+
+def ratio_workload(ratios):
+    """A workload with one job per requested/used ratio."""
+    return make_workload(
+        [
+            make_job(job_id=i + 1, req_mem=32.0, used_mem=32.0 / r)
+            for i, r in enumerate(ratios)
+        ]
+    )
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        fit = linear_fit(x, 2.0 * x + 1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_r_squared_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 100)
+        clean = linear_fit(x, x)
+        noisy = linear_fit(x, x + rng.normal(0, 3.0, size=100))
+        assert noisy.r_squared < clean.r_squared
+
+    def test_constant_y_has_r2_one(self):
+        # Zero variance is perfectly explained by a flat line.
+        fit = linear_fit([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        assert fit.r_squared == 1.0
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 2.0], [1.0])
+
+    def test_predict(self):
+        fit = linear_fit([0.0, 1.0], [0.0, 2.0])
+        assert fit.predict(np.array([3.0]))[0] == pytest.approx(6.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=-5, max_value=5),
+        st.floats(min_value=-10, max_value=10),
+    )
+    def test_property_recovers_exact_lines(self, slope, intercept):
+        x = np.linspace(0, 5, 20)
+        fit = linear_fit(x, slope * x + intercept)
+        assert fit.slope == pytest.approx(slope, abs=1e-8)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-7)
+
+
+class TestHistogram:
+    def test_fractions_sum_to_one(self):
+        w = ratio_workload([1.0, 2.0, 5.0, 50.0])
+        _, fractions = overprovisioning_histogram(w)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_bin_width_respected(self):
+        w = ratio_workload([1.0, 3.0, 7.0])
+        centers, _ = overprovisioning_histogram(w, bin_width=2.0)
+        assert np.allclose(np.diff(centers), 2.0)
+
+    def test_exponential_decay_fits_line_in_log_space(self):
+        rng = np.random.default_rng(1)
+        ratios = 1.0 + rng.exponential(5.0, size=5000)
+        w = ratio_workload(np.minimum(ratios, 31.9))
+        centers, fractions = overprovisioning_histogram(w, bin_width=2.0)
+        fit = log_linear_fit(centers, fractions)
+        assert fit.r_squared > 0.9
+        assert fit.slope < 0
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            overprovisioning_histogram(make_workload([]))
+
+    def test_log_fit_needs_two_nonempty_bins(self):
+        with pytest.raises(ValueError):
+            log_linear_fit(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+
+
+class TestRatioAtLeast:
+    def test_basic(self):
+        w = ratio_workload([1.0, 1.5, 2.0, 4.0])
+        assert ratio_at_least(w, 2.0) == pytest.approx(0.5)
+
+    def test_threshold_one_is_everything(self):
+        w = ratio_workload([1.0, 3.0])
+        assert ratio_at_least(w, 1.0) == 1.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ratio_at_least(ratio_workload([2.0]), 0.0)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        w = ratio_workload([1.0, 2.0, 2.0, 8.0])
+        stats = overprovisioning_stats(w, bin_width=1.0)
+        assert stats.n_jobs == 4
+        assert stats.frac_ratio_ge_2 == pytest.approx(0.75)
+        assert stats.max_ratio == pytest.approx(8.0)
+        assert stats.median_ratio == pytest.approx(2.0)
+
+    def test_report_mentions_paper_numbers(self):
+        w = ratio_workload([1.0, 2.0, 2.0, 8.0])
+        report = overprovisioning_stats(w, bin_width=1.0).format_report()
+        assert "32.8%" in report
+        assert "0.69" in report

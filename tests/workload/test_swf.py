@@ -1,0 +1,123 @@
+"""SWF reader/writer: format compliance and round-trip fidelity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.workload.swf import read_swf, read_swf_text, write_swf, write_swf_text
+from tests.conftest import make_job, make_workload, unique_jobs_strategy
+
+SAMPLE = """\
+; LANL CM5 sample
+; MaxNodes: 1024
+; MaxMemory: 32768
+1 0 5 100 32 -1 8192 32 200 32768 1 3 1 7 -1 -1 -1 -1
+2 50 -1 60 64 -1 4096 64 120 16384 1 4 1 2 -1 -1 -1 -1
+"""
+
+
+class TestReader:
+    def test_parses_jobs_and_header(self):
+        w, report = read_swf_text(SAMPLE)
+        assert report.parsed_jobs == 2
+        assert w.total_nodes == 1024
+        assert w.node_mem == 32.0
+
+    def test_memory_converted_to_mb(self):
+        w, _ = read_swf_text(SAMPLE)
+        assert w[0].used_mem == 8.0
+        assert w[0].req_mem == 32.0
+        assert w[1].req_mem == 16.0
+
+    def test_fields_mapped(self):
+        w, _ = read_swf_text(SAMPLE)
+        job = w[0]
+        assert job.job_id == 1
+        assert job.run_time == 100.0
+        assert job.procs == 32
+        assert job.req_time == 200.0
+        assert job.user_id == 3
+        assert job.app_id == 7
+
+    def test_skips_jobs_without_memory_by_default(self):
+        text = "1 0 -1 100 32 -1 -1 32 200 32768 1 3 1 7 -1 -1 -1 -1\n"
+        w, report = read_swf_text(text)
+        assert len(w) == 0
+        assert report.skipped_missing_fields == 1
+
+    def test_keeps_memoryless_jobs_when_asked(self):
+        text = "1 0 -1 100 32 -1 -1 32 200 -1 1 3 1 7 -1 -1 -1 -1\n"
+        w, _ = read_swf_text(text, require_memory=False)
+        assert len(w) == 1
+        assert w[0].used_mem == 1.0  # placeholder
+
+    def test_skips_malformed_lines(self):
+        w, report = read_swf_text("not a swf line\n1 2 3\n")
+        assert len(w) == 0
+        assert report.skipped_malformed == 2
+
+    def test_skips_jobs_without_runtime(self):
+        text = "1 0 -1 -1 32 -1 8192 32 200 32768 0 3 1 7 -1 -1 -1 -1\n"
+        _, report = read_swf_text(text)
+        assert report.skipped_missing_fields == 1
+
+    def test_uses_requested_procs_when_allocated_missing(self):
+        text = "1 0 -1 100 -1 -1 8192 64 200 32768 1 3 1 7 -1 -1 -1 -1\n"
+        w, _ = read_swf_text(text)
+        assert w[0].procs == 64
+
+    def test_report_summary_mentions_counts(self):
+        _, report = read_swf_text(SAMPLE)
+        assert "2 jobs kept" in report.summary()
+
+
+class TestWriter:
+    def test_writes_header(self):
+        w = make_workload([make_job()])
+        text = write_swf_text(w, header_comments=["hello"])
+        assert "; MaxNodes: 1024" in text
+        assert "; hello" in text
+
+    def test_eighteen_fields_per_line(self):
+        w = make_workload([make_job()])
+        data_lines = [l for l in write_swf_text(w).splitlines() if not l.startswith(";")]
+        assert all(len(l.split()) == 18 for l in data_lines)
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        original = make_workload(
+            [make_job(job_id=1), make_job(job_id=2, submit_time=10.0, req_mem=16.0, used_mem=2.0)]
+        )
+        parsed, report = read_swf_text(write_swf_text(original))
+        assert report.parsed_jobs == 2
+        for a, b in zip(original, parsed):
+            assert a.job_id == b.job_id
+            assert math.isclose(a.submit_time, b.submit_time)
+            assert math.isclose(a.req_mem, b.req_mem)
+            assert math.isclose(a.used_mem, b.used_mem)
+
+    def test_file_round_trip(self, tmp_path):
+        original = make_workload([make_job()])
+        path = tmp_path / "trace.swf"
+        write_swf(original, path)
+        parsed, report = read_swf(path)
+        assert report.parsed_jobs == 1
+        assert parsed[0].req_mem == original[0].req_mem
+
+    @settings(max_examples=30, deadline=None)
+    @given(unique_jobs_strategy(min_size=1, max_size=20))
+    def test_round_trip_preserves_job_content(self, jobs):
+        original = make_workload(jobs)
+        parsed, report = read_swf_text(write_swf_text(original))
+        assert report.parsed_jobs == len(original)
+        for a, b in zip(original, parsed):
+            assert a.job_id == b.job_id
+            assert math.isclose(a.submit_time, b.submit_time, rel_tol=1e-12, abs_tol=1e-9)
+            assert math.isclose(a.run_time, b.run_time, rel_tol=1e-12)
+            assert a.procs == b.procs
+            assert math.isclose(a.req_mem, b.req_mem, rel_tol=1e-12)
+            assert math.isclose(a.used_mem, b.used_mem, rel_tol=1e-12)
+            assert a.user_id == b.user_id
+            assert a.app_id == b.app_id

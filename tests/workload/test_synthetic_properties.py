@@ -1,0 +1,72 @@
+"""Property-based tests of the synthetic generator over random configs."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.synthetic import SyntheticTraceConfig, generate_trace
+
+config_strategy = st.builds(
+    lambda n_jobs, floor, near, p_large, window_days, diurnal: dataclasses.replace(
+        SyntheticTraceConfig.lanl_cm5(n_jobs),
+        ratio_full_floor=floor,
+        ratio_full_scale_near=near,
+        p_large_group=p_large,
+        group_window_mean=window_days * 86_400.0,
+        diurnal=diurnal,
+    ),
+    n_jobs=st.integers(min_value=30, max_value=1_500),
+    floor=st.floats(min_value=1.0, max_value=3.0),
+    near=st.floats(min_value=0.1, max_value=2.0),
+    p_large=st.floats(min_value=0.05, max_value=0.5),
+    window_days=st.floats(min_value=1.0, max_value=60.0),
+    diurnal=st.booleans(),
+)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(cfg=config_strategy, seed=st.integers(min_value=0, max_value=50))
+    def test_every_config_yields_valid_trace(self, cfg, seed):
+        w = generate_trace(cfg, rng=seed)
+        assert len(w) == cfg.n_jobs
+        for job in w:
+            assert 0 <= job.submit_time <= cfg.duration
+            assert cfg.runtime_min <= job.run_time <= cfg.runtime_max
+            assert 0 < job.used_mem <= job.req_mem + 1e-9
+            assert job.req_mem <= cfg.node_mem
+            assert job.procs in set(cfg.proc_levels) | {cfg.total_nodes}
+
+    @settings(max_examples=15, deadline=None)
+    @given(cfg=config_strategy, seed=st.integers(min_value=0, max_value=50))
+    def test_jobs_sorted_by_submit_time(self, cfg, seed):
+        w = generate_trace(cfg, rng=seed)
+        times = [j.submit_time for j in w]
+        assert times == sorted(times)
+
+    @settings(max_examples=15, deadline=None)
+    @given(cfg=config_strategy, seed=st.integers(min_value=0, max_value=50))
+    def test_groups_have_constant_request(self, cfg, seed):
+        # The (user, app, req_mem) key must be consistent: within a key the
+        # request is constant by construction (it IS part of the key), and
+        # every full-machine job is excluded from group structure.
+        w = generate_trace(cfg, rng=seed)
+        full = [j for j in w if j.procs == cfg.total_nodes]
+        assert len(full) == cfg.n_full_machine_jobs
+
+    @settings(max_examples=15, deadline=None)
+    @given(cfg=config_strategy)
+    def test_same_seed_reproducible(self, cfg):
+        a = generate_trace(cfg, rng=9)
+        b = generate_trace(cfg, rng=9)
+        assert [(j.submit_time, j.used_mem, j.procs) for j in a] == [
+            (j.submit_time, j.used_mem, j.procs) for j in b
+        ]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_unique_job_ids(self, seed):
+        w = generate_trace(SyntheticTraceConfig.lanl_cm5(500), rng=seed)
+        ids = [j.job_id for j in w]
+        assert len(set(ids)) == len(ids)

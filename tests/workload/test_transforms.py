@@ -1,0 +1,143 @@
+"""Workload transforms: load scaling, filtering, subsampling."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.transforms import (
+    drop_full_machine_jobs,
+    head,
+    offered_load,
+    scale_load,
+    shift_to_zero,
+)
+from tests.conftest import make_job, make_workload, unique_jobs_strategy
+
+
+class TestOfferedLoad:
+    def test_simple_case(self):
+        # Two jobs of 100s x 10 procs over a 1000s span on 10 nodes:
+        # 2000 node-s / 10000 node-s = 0.2
+        w = make_workload(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, procs=10),
+                make_job(job_id=2, submit_time=1000.0, run_time=100.0, procs=10),
+            ],
+            total_nodes=10,
+        )
+        assert offered_load(w) == pytest.approx(0.2)
+
+    def test_explicit_node_count_overrides(self):
+        w = make_workload(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, procs=10),
+                make_job(job_id=2, submit_time=1000.0, run_time=100.0, procs=10),
+            ],
+            total_nodes=10,
+        )
+        assert offered_load(w, total_nodes=20) == pytest.approx(0.1)
+
+    def test_zero_span_is_infinite(self):
+        w = make_workload([make_job()], total_nodes=10)
+        assert offered_load(w) == float("inf")
+
+    def test_requires_node_count(self):
+        w = make_workload([make_job()], total_nodes=0)
+        with pytest.raises(ValueError):
+            offered_load(w)
+
+
+class TestScaleLoad:
+    def test_reaches_target(self):
+        w = make_workload(
+            [make_job(job_id=i, submit_time=100.0 * i, run_time=50.0, procs=8) for i in range(20)],
+            total_nodes=64,
+        )
+        scaled = scale_load(w, 0.5)
+        assert offered_load(scaled) == pytest.approx(0.5, rel=1e-9)
+
+    def test_preserves_job_content(self):
+        w = make_workload(
+            [make_job(job_id=i, submit_time=10.0 * i) for i in range(5)], total_nodes=64
+        )
+        scaled = scale_load(w, 0.9)
+        for a, b in zip(w, scaled):
+            assert a.run_time == b.run_time
+            assert a.procs == b.procs
+            assert a.req_mem == b.req_mem
+
+    def test_preserves_arrival_order(self):
+        w = make_workload(
+            [make_job(job_id=i, submit_time=7.0 * i) for i in range(10)], total_nodes=64
+        )
+        scaled = scale_load(w, 0.3)
+        ids = [j.job_id for j in scaled]
+        assert ids == sorted(ids)
+
+    def test_first_arrival_fixed_point(self):
+        w = make_workload(
+            [make_job(job_id=1, submit_time=500.0), make_job(job_id=2, submit_time=600.0)],
+            total_nodes=64,
+        )
+        scaled = scale_load(w, 0.4)
+        assert scaled[0].submit_time == pytest.approx(500.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(unique_jobs_strategy(min_size=3, max_size=15), st.floats(min_value=0.1, max_value=3.0))
+    def test_property_target_load_achieved(self, jobs, target):
+        w = make_workload(jobs, total_nodes=128)
+        if w.span <= 0:
+            return  # degenerate: all jobs at the same instant
+        scaled = scale_load(w, target)
+        assert offered_load(scaled) == pytest.approx(target, rel=1e-6)
+
+    def test_rejects_zero_span(self):
+        w = make_workload([make_job()], total_nodes=10)
+        with pytest.raises(ValueError):
+            scale_load(w, 0.5)
+
+
+class TestShiftToZero:
+    def test_shifts(self):
+        w = make_workload(
+            [make_job(job_id=1, submit_time=50.0), make_job(job_id=2, submit_time=80.0)]
+        )
+        shifted = shift_to_zero(w)
+        assert shifted[0].submit_time == 0.0
+        assert shifted[1].submit_time == 30.0
+
+    def test_noop_when_already_zero(self):
+        w = make_workload([make_job(submit_time=0.0)])
+        assert shift_to_zero(w) is w
+
+
+class TestDropFullMachine:
+    def test_drops_only_full_machine(self):
+        w = make_workload(
+            [make_job(job_id=1, procs=512), make_job(job_id=2, procs=1024)],
+            total_nodes=1024,
+        )
+        kept = drop_full_machine_jobs(w)
+        assert [j.job_id for j in kept] == [1]
+
+    def test_paper_preparation_on_synthetic(self, small_trace):
+        kept = drop_full_machine_jobs(small_trace)
+        assert len(small_trace) - len(kept) == 6  # the six 1024-node entries
+
+
+class TestHead:
+    def test_takes_first_n_by_arrival(self):
+        w = make_workload(
+            [make_job(job_id=i, submit_time=float(10 - i)) for i in range(1, 6)]
+        )
+        first = head(w, 2)
+        assert [j.job_id for j in first] == [5, 4]
+
+    def test_n_larger_than_trace(self):
+        w = make_workload([make_job()])
+        assert len(head(w, 100)) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            head(make_workload([make_job()]), -1)
