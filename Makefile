@@ -1,8 +1,10 @@
 # Convenience targets for the repro library.
 
 PYTHON ?= python
+# Pool size for the parallel sweep benchmarks (sweep-bench target).
+REPRO_BENCH_WORKERS ?= 4
 
-.PHONY: install test bench bench-full examples artifacts clean
+.PHONY: install test bench bench-full sweep-bench examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +18,16 @@ bench:
 # Full paper-scale regeneration (122,055-job trace; ~30 minutes).
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The sweep experiments through the multi-process executor + result cache.
+sweep-bench:
+	REPRO_BENCH_WORKERS=$(REPRO_BENCH_WORKERS) $(PYTHON) -m pytest \
+		benchmarks/test_sweep_parallel.py \
+		benchmarks/test_fig5_utilization.py \
+		benchmarks/test_fig6_slowdown.py \
+		benchmarks/test_fig8_memory_sweep.py \
+		benchmarks/test_replication.py \
+		--benchmark-only
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done

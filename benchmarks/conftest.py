@@ -9,7 +9,10 @@ Scale knobs (environment variables):
 
 * ``REPRO_BENCH_JOBS``  — trace length (default 12000; the paper's trace is
   122055 and takes a few minutes end to end),
-* ``REPRO_BENCH_FULL=1`` — shorthand for the full paper-scale run.
+* ``REPRO_BENCH_FULL=1`` — shorthand for the full paper-scale run,
+* ``REPRO_BENCH_WORKERS`` — process-pool size for the sweep experiments
+  (default 1 = the serial path; ``make sweep-bench`` raises it so the suite
+  exercises the parallel executor).
 """
 
 from __future__ import annotations
@@ -30,9 +33,19 @@ def bench_n_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "12000"))
 
 
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
     return ExperimentConfig(n_jobs=bench_n_jobs())
+
+
+@pytest.fixture(scope="session")
+def bench_workers_count() -> int:
+    """Pool size for sweep-capable experiments (1 = in-process serial)."""
+    return bench_workers()
 
 
 @pytest.fixture(scope="session")

@@ -15,8 +15,10 @@ from conftest import run_once
 from repro.experiments import fig5
 
 
-def test_fig5_utilization_vs_load(benchmark, bench_config, save_artifact):
-    result = run_once(benchmark, lambda: fig5.run(bench_config))
+def test_fig5_utilization_vs_load(benchmark, bench_config, bench_workers_count, save_artifact):
+    result = run_once(
+        benchmark, lambda: fig5.run(bench_config, max_workers=bench_workers_count)
+    )
     save_artifact("fig5", result.format_table() + "\n\n" + result.format_chart())
 
     # Headline improvement (paper: +58% at the saturation point).
@@ -37,11 +39,14 @@ def test_fig5_utilization_vs_load(benchmark, bench_config, save_artifact):
     assert result.saturation_without.max_utilization < 0.6
 
 
-def test_fig5_backfilling_conjecture(benchmark, bench_config, save_artifact):
+def test_fig5_backfilling_conjecture(benchmark, bench_config, bench_workers_count, save_artifact):
     """§3.1's future-work conjecture: gains carry over to backfilling."""
     import dataclasses
 
     cfg = dataclasses.replace(bench_config, loads=(0.6, 0.9), n_jobs=min(bench_config.n_jobs, 8000))
-    result = run_once(benchmark, lambda: fig5.run(cfg, policy="easy-backfilling"))
+    result = run_once(
+        benchmark,
+        lambda: fig5.run(cfg, policy="easy-backfilling", max_workers=bench_workers_count),
+    )
     save_artifact("fig5_backfilling", result.format_table())
     assert result.improvement > 0.15

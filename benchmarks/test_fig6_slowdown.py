@@ -12,8 +12,10 @@ from conftest import run_once
 from repro.experiments import fig6
 
 
-def test_fig6_slowdown_ratio(benchmark, bench_config, save_artifact):
-    result = run_once(benchmark, lambda: fig6.run(bench_config))
+def test_fig6_slowdown_ratio(benchmark, bench_config, bench_workers_count, save_artifact):
+    result = run_once(
+        benchmark, lambda: fig6.run(bench_config, max_workers=bench_workers_count)
+    )
     save_artifact("fig6", result.format_table() + "\n\n" + result.format_chart())
 
     assert result.never_worse

@@ -14,8 +14,10 @@ from conftest import run_once
 from repro.experiments import fig8
 
 
-def test_fig8_second_tier_sweep(benchmark, bench_config, save_artifact):
-    result = run_once(benchmark, lambda: fig8.run(bench_config))
+def test_fig8_second_tier_sweep(benchmark, bench_config, bench_workers_count, save_artifact):
+    result = run_once(
+        benchmark, lambda: fig8.run(bench_config, max_workers=bench_workers_count)
+    )
     save_artifact("fig8", result.format_table() + "\n\n" + result.format_chart())
 
     # The 16MB wall: negligible improvement below, substantial inside.

@@ -12,9 +12,12 @@ from conftest import run_once
 from repro.experiments import replication
 
 
-def test_headline_replicates_across_seeds(benchmark, bench_config, save_artifact):
+def test_headline_replicates_across_seeds(benchmark, bench_config, bench_workers_count, save_artifact):
     cfg = dataclasses.replace(bench_config, n_jobs=min(bench_config.n_jobs, 8_000))
-    result = run_once(benchmark, lambda: replication.run(cfg, seeds=(0, 1, 2, 3, 4)))
+    result = run_once(
+        benchmark,
+        lambda: replication.run(cfg, seeds=(0, 1, 2, 3, 4), max_workers=bench_workers_count),
+    )
     save_artifact("replication", result.format_table())
 
     # Every single seed shows a solid improvement...

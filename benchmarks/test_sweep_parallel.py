@@ -1,0 +1,87 @@
+"""SWEEP bench: the parallel executor and result cache on the Figure 8 grid.
+
+Not a paper artifact — the throughput companion to ``engine_throughput.txt``:
+it measures the multi-process fan-out (``REPRO_BENCH_WORKERS``) and the
+warm-cache path on a representative slice of the Figure 8 second-tier sweep,
+asserts cache correctness (a repeated sweep is 100% hits and point-for-point
+identical), and writes the measured wall times to
+``benchmarks/results/sweep_throughput.txt``.
+"""
+
+import os
+import time
+
+from conftest import bench_workers, run_once
+
+from repro.experiments.cache import SweepCache
+from repro.experiments.parallel import run_sweep
+from repro.experiments.specs import (
+    ClusterSpec,
+    EstimatorSpec,
+    RunSpec,
+    WorkloadSpec,
+)
+
+MEMS = (16.0, 20.0, 24.0, 28.0, 32.0)
+
+
+def _specs(cfg, load=0.8):
+    workload = WorkloadSpec(n_jobs=cfg.n_jobs, seed=cfg.seed, load=load)
+    estimators = (
+        EstimatorSpec(name="none"),
+        EstimatorSpec.make("successive", alpha=cfg.alpha, beta=cfg.beta),
+    )
+    return [
+        RunSpec(
+            workload=workload,
+            cluster=ClusterSpec(second_tier_mem=m),
+            estimator=est,
+            seed=cfg.seed,
+            label=f"{est.name}@tier2={m:g}MB",
+        )
+        for m in MEMS
+        for est in estimators
+    ]
+
+
+def test_sweep_executor_throughput(benchmark, bench_config, save_artifact, tmp_path):
+    specs = _specs(bench_config)
+    workers = max(bench_workers(), 2)
+    cache = SweepCache(tmp_path / "sweepcache")
+
+    serial = run_sweep(specs)  # the degenerate max_workers=1 reference
+
+    cold = run_once(
+        benchmark, lambda: run_sweep(specs, max_workers=workers, cache=cache)
+    )
+    assert cold.n_errors == 0
+    assert cold.n_cache_hits == 0
+    # Worker/in-process parity: the pool returns the exact serial points.
+    assert cold.points() == serial.points()
+
+    t0 = time.perf_counter()
+    warm = run_sweep(specs, max_workers=workers, cache=SweepCache(tmp_path / "sweepcache"))
+    warm_wall = time.perf_counter() - t0
+
+    # A repeated sweep is served entirely from the cache, returns identical
+    # points, and skips the simulations (>= 2x wall-time reduction; in
+    # practice it is orders of magnitude).
+    assert warm.n_cache_hits == len(specs)
+    assert warm.points() == cold.points()
+    assert warm_wall < cold.wall_time / 2
+
+    rows = (
+        ("serial (workers=1)", f"{serial.wall_time:.2f}s  ({serial.runs_per_second:.2f} runs/s)"),
+        (f"pool (workers={workers})", f"{cold.wall_time:.2f}s  ({cold.runs_per_second:.2f} runs/s)"),
+        (
+            "warm cache",
+            f"{warm_wall:.2f}s  ({warm.n_cache_hits}/{len(specs)} cache hits, "
+            f"{cold.wall_time / warm_wall:.0f}x faster than cold)",
+        ),
+    )
+    save_artifact(
+        "sweep_throughput",
+        f"fig8-slice sweep ({len(specs)} runs, {bench_config.n_jobs} jobs each, "
+        f"host cpus={os.cpu_count()}):\n"
+        + "\n".join(f"  {name:<20} {value}" for name, value in rows),
+    )

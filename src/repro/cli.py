@@ -166,10 +166,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
+    import inspect
+    import logging
+
+    from repro.experiments.cache import resolve_cache
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
     config = ExperimentConfig(n_jobs=args.jobs, seed=args.seed)
-    result = module.run(config)
+    kwargs = {}
+    if "max_workers" in inspect.signature(module.run).parameters:
+        # Sweep-capable experiment: wire up the pool + cache and surface the
+        # executor's runs/s + cache-hit accounting on stderr.
+        kwargs["max_workers"] = args.workers
+        kwargs["cache"] = resolve_cache(
+            enabled=not args.no_cache, directory=args.cache_dir
+        )
+        sweep_logger = logging.getLogger("repro.sweep")
+        if not sweep_logger.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            sweep_logger.addHandler(handler)
+        sweep_logger.setLevel(logging.INFO)
+    result = module.run(config, **kwargs)
     print(result.format_table())
     if hasattr(result, "format_chart"):
         print()
@@ -239,6 +257,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     _add_common(p)
     p.add_argument("name", choices=EXPERIMENTS)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for sweep experiments (1 = in-process serial)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk sweep result cache",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="sweep cache directory (default: $REPRO_CACHE_DIR, unset = off)",
+    )
     p.set_defaults(fn=cmd_experiment)
 
     p = sub.add_parser("design", help="rank second-tier memory sizes (Fig 8 tool)")

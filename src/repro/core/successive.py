@@ -282,10 +282,13 @@ class SuccessiveApproximation(Estimator):
         return list(self._trajectories.get(key, []))
 
     def memory_footprint(self) -> int:
-        """Number of scalar values retained across all groups.
+        """Number of scalar values retained across the estimator's state.
 
         The paper highlights that Algorithm 1 stores only two parameters per
         group (E_i and alpha_i); this reports 2x the group count plus the
-        safe-value bookkeeping, for the space-efficiency benchmark.
+        safe-value bookkeeping, plus one scalar per entry in the per-job
+        retry guard (``_failed_at``), for the space-efficiency benchmark.
+        The retry-guard entries are transient — cleared on each job's first
+        success — but they are retained state and belong in the count.
         """
-        return 3 * len(self._groups)
+        return 3 * len(self._groups) + len(self._failed_at)

@@ -1,0 +1,106 @@
+"""On-disk result cache for sweep points.
+
+Every headline sweep is a grid of *deterministic* simulation runs: a
+:class:`~repro.experiments.specs.RunSpec` fully determines its
+:class:`~repro.experiments.runner.SweepPoint`.  The cache exploits that —
+key = SHA-256 of the canonicalized spec plus the workload fingerprint
+(:meth:`RunSpec.cache_key`), value = the point's fields as JSON (floats
+round-trip exactly through ``repr``, so a cache hit is byte-identical to a
+recomputation).
+
+Layout: one ``<key>.json`` file per point under the cache directory, written
+atomically (temp file + rename) so concurrent sweeps sharing a directory
+never observe a torn entry.  Corrupt or schema-mismatched entries are
+treated as misses and overwritten.
+
+The directory comes from the ``REPRO_CACHE_DIR`` environment variable (see
+:meth:`SweepCache.from_env`) or an explicit path; the CLI exposes
+``--cache-dir`` and ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.runner import SweepPoint
+from repro.experiments.specs import RunSpec
+
+#: Bump when SweepPoint's fields change so stale entries self-invalidate.
+_SCHEMA_VERSION = 1
+
+#: Environment variable naming the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class SweepCache:
+    """A directory of memoized sweep points, with hit/miss accounting."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["SweepCache"]:
+        """The cache named by ``REPRO_CACHE_DIR``, or None when unset."""
+        directory = os.environ.get(CACHE_DIR_ENV)
+        return cls(directory) if directory else None
+
+    def _path(self, spec: RunSpec) -> Path:
+        return self.directory / f"{spec.cache_key()}.json"
+
+    def get(self, spec: RunSpec) -> Optional[SweepPoint]:
+        """The cached point for ``spec``, or None (counted as a miss)."""
+        path = self._path(spec)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            if doc.get("version") != _SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            point = SweepPoint(**doc["point"])
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return point
+
+    def put(self, spec: RunSpec, point: SweepPoint) -> None:
+        """Store ``point`` under ``spec``'s key (atomic replace)."""
+        doc = {
+            "version": _SCHEMA_VERSION,
+            "spec": spec.canonical(),
+            "point": asdict(point),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, self._path(spec))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def resolve_cache(
+    enabled: bool = True, directory: Optional[Union[str, Path]] = None
+) -> Optional[SweepCache]:
+    """The cache the CLI flags select: explicit directory wins, then
+    ``REPRO_CACHE_DIR``; ``enabled=False`` (``--no-cache``) disables both."""
+    if not enabled:
+        return None
+    if directory:
+        return SweepCache(directory)
+    return SweepCache.from_env()

@@ -14,14 +14,21 @@ The estimation run also reports the §3.2 conservativeness statistics
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
-from repro.core import NoEstimation, SuccessiveApproximation
+from repro.experiments.cache import SweepCache
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_sweep, sweep_to_load_sweep
 from repro.experiments.render import ascii_chart, format_table
-from repro.experiments.runner import LoadSweep, load_sweep
+from repro.experiments.runner import LoadSweep
+from repro.experiments.specs import (
+    ClusterSpec,
+    EstimatorSpec,
+    PolicySpec,
+    RunSpec,
+    WorkloadSpec,
+)
 from repro.sim.metrics import SaturationPoint, saturation_point
-from repro.sim.policies import EasyBackfilling, Fcfs, Policy
 
 
 @dataclass(frozen=True)
@@ -99,46 +106,60 @@ class Fig5Result:
         )
 
 
+def sweep_specs(
+    cfg: ExperimentConfig,
+    estimator: EstimatorSpec,
+    policy: str = "fcfs",
+    label: str = "",
+) -> List[RunSpec]:
+    """One spec per load point of the Figure 5/6 grid for one estimator."""
+    return [
+        RunSpec(
+            workload=WorkloadSpec(n_jobs=cfg.n_jobs, seed=cfg.seed, load=load),
+            cluster=ClusterSpec(second_tier_mem=cfg.second_tier_mem),
+            estimator=estimator,
+            policy=PolicySpec(name=policy),
+            seed=cfg.seed,
+            label=f"{label or estimator.name}@load{load:g}",
+        )
+        for load in cfg.loads
+    ]
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     policy: str = "fcfs",
+    max_workers: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> Fig5Result:
     """Run the Figure 5 sweep.
 
     ``policy`` may be ``"fcfs"`` (the paper's) or ``"easy-backfilling"`` —
     the variant the paper defers to future work, provided to test its
-    conjecture that the gains carry over.
+    conjecture that the gains carry over.  ``max_workers > 1`` fans the
+    2 x len(loads) runs out over a process pool; results are identical to
+    the serial path point for point.  Pass a
+    :class:`~repro.experiments.cache.SweepCache` to memoize points on disk.
     """
     cfg = config or ExperimentConfig()
-    workload = cfg.make_sim_workload()
-
-    def make_policy() -> Policy:
-        if policy == "fcfs":
-            return Fcfs()
-        if policy == "easy-backfilling":
-            return EasyBackfilling()
+    if policy not in ("fcfs", "easy-backfilling"):
         raise ValueError(f"unknown policy {policy!r}")
 
-    without = load_sweep(
-        workload,
-        cluster_factory=lambda: cfg.make_cluster(),
-        estimator_factory=NoEstimation,
-        loads=cfg.loads,
-        label="no estimation",
-        policy_factory=make_policy,
-        seed=cfg.seed,
+    specs_without = sweep_specs(
+        cfg, EstimatorSpec(name="none"), policy=policy, label="no estimation"
     )
-    with_est = load_sweep(
-        workload,
-        cluster_factory=lambda: cfg.make_cluster(),
-        estimator_factory=lambda: SuccessiveApproximation(
-            alpha=cfg.alpha, beta=cfg.beta
-        ),
-        loads=cfg.loads,
+    specs_with = sweep_specs(
+        cfg,
+        EstimatorSpec.make("successive", alpha=cfg.alpha, beta=cfg.beta),
+        policy=policy,
         label="with estimation",
-        policy_factory=make_policy,
-        seed=cfg.seed,
     )
+    report = run_sweep(
+        specs_without + specs_with, max_workers=max_workers, cache=cache
+    )
+    n = len(specs_without)
+    without = sweep_to_load_sweep("no estimation", report.outcomes[:n])
+    with_est = sweep_to_load_sweep("with estimation", report.outcomes[n:])
     return Fig5Result(
         without_estimation=without,
         with_estimation=with_est,

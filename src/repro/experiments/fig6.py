@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.experiments.cache import SweepCache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.render import ascii_chart, format_table
 from repro.experiments.runner import LoadSweep
@@ -88,13 +89,17 @@ class Fig6Result:
 def run(
     config: Optional[ExperimentConfig] = None,
     fig5_result: Optional["fig5.Fig5Result"] = None,
+    max_workers: int = 1,
+    cache: Optional["SweepCache"] = None,
 ) -> Fig6Result:
     """Run (or reuse) the Figure 5 sweep and extract the slowdown series.
 
     Figures 5 and 6 come from the same simulations; pass an existing
     :class:`~repro.experiments.fig5.Fig5Result` to avoid recomputing.
+    ``max_workers``/``cache`` are forwarded to :func:`fig5.run` (and with a
+    shared cache the second figure's sweep is entirely cache hits).
     """
-    base = fig5_result or fig5.run(config)
+    base = fig5_result or fig5.run(config, max_workers=max_workers, cache=cache)
     return Fig6Result(
         without_estimation=base.without_estimation,
         with_estimation=base.with_estimation,

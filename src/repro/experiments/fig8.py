@@ -26,13 +26,17 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.builder import DesignChoice, design_second_tier
-from repro.core import NoEstimation, SuccessiveApproximation
+from repro.experiments.cache import SweepCache
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.render import ascii_chart, format_table
-from repro.experiments.runner import run_point
-from repro.sim.metrics import utilization
+from repro.experiments.specs import (
+    ClusterSpec,
+    EstimatorSpec,
+    RunSpec,
+    WorkloadSpec,
+)
 from repro.workload.stats import RegressionFit, linear_fit
-from repro.workload.transforms import scale_load
 
 
 @dataclass(frozen=True)
@@ -156,12 +160,16 @@ def run(
     config: Optional[ExperimentConfig] = None,
     mems: Optional[Sequence[float]] = None,
     load: float = 0.8,
+    max_workers: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> Fig8Result:
     """Run the Figure 8 sweep.
 
     ``mems`` defaults to every integer size 1..32 at full scale; the fast
     configuration uses a representative subset dense inside and around the
-    paper's improvement band.
+    paper's improvement band.  The 2 x len(mems) simulation runs are
+    independent: ``max_workers > 1`` fans them out over a process pool and
+    ``cache`` memoizes the per-configuration points on disk.
     """
     cfg = config or ExperimentConfig()
     if mems is None:
@@ -169,33 +177,42 @@ def run(
             mems = list(range(1, 33))
         else:
             mems = [1, 4, 8, 12, 14, 15, 16, 18, 20, 22, 24, 26, 28, 30, 31, 32]
-    workload = cfg.make_sim_workload()
-    scaled = scale_load(workload, load)
+    workload_spec = WorkloadSpec(n_jobs=cfg.n_jobs, seed=cfg.seed, load=load)
+    scaled = workload_spec.materialize()
 
     design = {
         c.second_tier_mem: c
         for c in design_second_tier(scaled, mems, alpha=cfg.alpha)
     }
 
-    points: List[Fig8Point] = []
-    for m in mems:
-        cluster_a = cfg.make_cluster(float(m))
-        cluster_b = cfg.make_cluster(float(m))
-        res_without = run_point(scaled, cluster_a, NoEstimation(), seed=cfg.seed)
-        res_with = run_point(
-            scaled,
-            cluster_b,
-            SuccessiveApproximation(alpha=cfg.alpha, beta=cfg.beta),
+    estimators = (
+        EstimatorSpec(name="none"),
+        EstimatorSpec.make("successive", alpha=cfg.alpha, beta=cfg.beta),
+    )
+    specs = [
+        RunSpec(
+            workload=workload_spec,
+            cluster=ClusterSpec(second_tier_mem=float(m)),
+            estimator=est,
             seed=cfg.seed,
+            label=f"{est.name}@tier2={m:g}MB",
         )
+        for m in mems
+        for est in estimators
+    ]
+    sweep_points = run_sweep(specs, max_workers=max_workers, cache=cache).points()
+
+    points: List[Fig8Point] = []
+    for i, m in enumerate(mems):
+        p_without, p_with = sweep_points[2 * i], sweep_points[2 * i + 1]
         points.append(
             Fig8Point(
                 second_tier_mem=float(m),
-                util_without=utilization(res_without),
-                util_with=utilization(res_with),
+                util_without=p_without.utilization,
+                util_with=p_with.utilization,
                 benefiting_node_count=design[float(m)].benefiting_node_count,
-                frac_failed_executions=res_with.frac_failed_executions,
-                frac_reduced_submissions=res_with.frac_reduced_submissions,
+                frac_failed_executions=p_with.frac_failed_executions,
+                frac_reduced_submissions=p_with.frac_reduced_submissions,
             )
         )
 

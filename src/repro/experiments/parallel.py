@@ -1,0 +1,202 @@
+"""Multi-process sweep executor.
+
+Every headline artifact (Figures 5, 6, 8; the seed replication) is a grid
+of *independent* simulation runs, each described by a picklable
+:class:`~repro.experiments.specs.RunSpec`.  :func:`run_sweep` fans a spec
+list out over a :class:`concurrent.futures.ProcessPoolExecutor` and
+collects results **in spec order**, so the parallel path is point-for-point
+identical to the serial one — ``max_workers=1`` *is* the serial path (no
+pool is created), and a broken pool (restricted environments without
+``fork``/semaphores) degrades to in-process execution rather than failing.
+
+Each run returns a :class:`RunOutcome` envelope: the spec, its
+:class:`~repro.experiments.runner.SweepPoint` (or a formatted traceback if
+the worker raised — one bad point reports itself instead of killing the
+sweep), the wall time, and whether it was served from the
+:class:`~repro.experiments.cache.SweepCache`.  Sweep-level throughput and
+cache accounting is reported on :class:`SweepReport` and logged via the
+``repro.sweep`` logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.cache import SweepCache
+from repro.experiments.runner import LoadSweep, SweepPoint, run_point
+from repro.experiments.specs import RunSpec
+from repro.sim.metrics import mean_slowdown, utilization
+
+logger = logging.getLogger("repro.sweep")
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Envelope around one executed (or cached, or failed) run."""
+
+    spec: RunSpec
+    point: Optional[SweepPoint]
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.point is not None
+
+
+class SweepError(RuntimeError):
+    """Raised when results are demanded from a sweep with failed points."""
+
+
+def simulate_spec(spec: RunSpec) -> SweepPoint:
+    """Materialize ``spec`` and run its simulation to one sweep point.
+
+    This is the single execution path shared by the serial loop and the
+    pool workers, which is what guarantees worker/in-process parity.
+    """
+    result = run_point(
+        spec.workload.materialize(),
+        spec.cluster.materialize(),
+        spec.estimator.materialize(),
+        policy=spec.policy.materialize(),
+        seed=spec.seed,
+    )
+    return SweepPoint(
+        load=float(spec.load),
+        utilization=utilization(result),
+        mean_slowdown=mean_slowdown(result),
+        frac_failed_executions=result.frac_failed_executions,
+        frac_reduced_submissions=result.frac_reduced_submissions,
+        wasted_node_seconds=result.wasted_node_seconds,
+    )
+
+
+def execute_spec(spec: RunSpec) -> RunOutcome:
+    """Run one spec, capturing any exception into the outcome envelope.
+
+    Module-level (hence picklable) — this is the function shipped to pool
+    workers.
+    """
+    t0 = time.perf_counter()
+    try:
+        point = simulate_spec(spec)
+        return RunOutcome(spec=spec, point=point, wall_time=time.perf_counter() - t0)
+    except Exception:
+        return RunOutcome(
+            spec=spec,
+            point=None,
+            error=traceback.format_exc(),
+            wall_time=time.perf_counter() - t0,
+        )
+
+
+@dataclass
+class SweepReport:
+    """Ordered outcomes of one sweep plus throughput/cache accounting."""
+
+    outcomes: List[RunOutcome]
+    wall_time: float
+    max_workers: int
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def runs_per_second(self) -> float:
+        return self.n_runs / self.wall_time if self.wall_time > 0 else float("inf")
+
+    def points(self) -> List[SweepPoint]:
+        """All points, in spec order; raises :class:`SweepError` with every
+        failing spec's label and traceback if any run failed."""
+        failed = [o for o in self.outcomes if not o.ok]
+        if failed:
+            detail = "\n\n".join(
+                f"spec {o.spec.label or o.spec.canonical()}:\n{o.error}"
+                for o in failed
+            )
+            raise SweepError(
+                f"{len(failed)}/{len(self.outcomes)} sweep points failed:\n{detail}"
+            )
+        return [o.point for o in self.outcomes]
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_runs} runs in {self.wall_time:.2f}s "
+            f"({self.runs_per_second:.1f} runs/s, workers={self.max_workers}, "
+            f"{self.n_cache_hits} cache hits, {self.n_errors} errors)"
+        )
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    max_workers: int = 1,
+    cache: Optional[SweepCache] = None,
+) -> SweepReport:
+    """Execute every spec, in parallel when ``max_workers > 1``.
+
+    Cache lookups happen up front in the parent process; only misses are
+    dispatched, and their results are written back.  Failed runs are never
+    cached.  Results always come back in ``specs`` order.
+    """
+    t0 = time.perf_counter()
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    todo: List[int] = []
+    for i, spec in enumerate(specs):
+        point = cache.get(spec) if cache is not None else None
+        if point is not None:
+            outcomes[i] = RunOutcome(spec=spec, point=point, cached=True)
+        else:
+            todo.append(i)
+
+    if todo:
+        computed = _execute_all([specs[i] for i in todo], max_workers)
+        for i, outcome in zip(todo, computed):
+            outcomes[i] = outcome
+            if cache is not None and outcome.ok:
+                cache.put(outcome.spec, outcome.point)
+
+    report = SweepReport(
+        outcomes=list(outcomes),
+        wall_time=time.perf_counter() - t0,
+        max_workers=max(1, max_workers),
+    )
+    logger.info("sweep: %s", report.summary())
+    return report
+
+
+def _execute_all(specs: Sequence[RunSpec], max_workers: int) -> List[RunOutcome]:
+    if max_workers > 1 and len(specs) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(max_workers, len(specs))) as pool:
+                return list(pool.map(execute_spec, specs))
+        except (OSError, ImportError, PermissionError, RuntimeError) as exc:
+            # Restricted environments (no /dev/shm, no fork) land here:
+            # degrade to in-process execution rather than failing the sweep.
+            logger.warning(
+                "process pool unavailable (%s); running sweep in-process", exc
+            )
+    return [execute_spec(spec) for spec in specs]
+
+
+def sweep_to_load_sweep(
+    label: str,
+    outcomes: Sequence[RunOutcome],
+) -> LoadSweep:
+    """Fold one configuration's outcomes into a :class:`LoadSweep` series."""
+    report = SweepReport(outcomes=list(outcomes), wall_time=0.0, max_workers=1)
+    return LoadSweep(label=label, points=tuple(report.points()))

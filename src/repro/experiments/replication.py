@@ -16,12 +16,16 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core import NoEstimation, SuccessiveApproximation
+from repro.experiments.cache import SweepCache
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import run_sweep
 from repro.experiments.render import format_table
-from repro.experiments.runner import run_point
-from repro.sim.metrics import mean_slowdown, utilization
-from repro.workload import drop_full_machine_jobs, lanl_cm5_like, scale_load
+from repro.experiments.specs import (
+    ClusterSpec,
+    EstimatorSpec,
+    RunSpec,
+    WorkloadSpec,
+)
 
 
 @dataclass(frozen=True)
@@ -93,32 +97,43 @@ def run(
     config: Optional[ExperimentConfig] = None,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     load: float = 0.9,
+    max_workers: int = 1,
+    cache: Optional[SweepCache] = None,
 ) -> ReplicationResult:
     """Replicate the headline comparison across independent trace seeds.
 
     Each seed regenerates the trace, the failure noise, and the simulation —
-    fully independent replications.
+    fully independent replications, so ``max_workers > 1`` parallelizes
+    across the 2 x len(seeds) runs.
     """
     cfg = config or ExperimentConfig()
+    estimators = (
+        EstimatorSpec(name="none"),
+        EstimatorSpec.make("successive", alpha=cfg.alpha, beta=cfg.beta),
+    )
+    specs = [
+        RunSpec(
+            workload=WorkloadSpec(n_jobs=cfg.n_jobs, seed=int(seed), load=load),
+            cluster=ClusterSpec(second_tier_mem=cfg.second_tier_mem),
+            estimator=est,
+            seed=int(seed),
+            label=f"{est.name}@seed{seed}",
+        )
+        for seed in seeds
+        for est in estimators
+    ]
+    sweep_points = run_sweep(specs, max_workers=max_workers, cache=cache).points()
+
     points: List[ReplicationPoint] = []
-    for seed in seeds:
-        trace = scale_load(
-            drop_full_machine_jobs(lanl_cm5_like(n_jobs=cfg.n_jobs, seed=seed)), load
-        )
-        base = run_point(trace, cfg.make_cluster(), NoEstimation(), seed=seed)
-        est = run_point(
-            trace,
-            cfg.make_cluster(),
-            SuccessiveApproximation(alpha=cfg.alpha, beta=cfg.beta),
-            seed=seed,
-        )
+    for i, seed in enumerate(seeds):
+        p_base, p_est = sweep_points[2 * i], sweep_points[2 * i + 1]
         points.append(
             ReplicationPoint(
                 seed=int(seed),
-                util_base=utilization(base),
-                util_est=utilization(est),
-                slowdown_ratio=mean_slowdown(base) / mean_slowdown(est),
-                frac_failed=est.frac_failed_executions,
+                util_base=p_base.utilization,
+                util_est=p_est.utilization,
+                slowdown_ratio=p_base.mean_slowdown / p_est.mean_slowdown,
+                frac_failed=p_est.frac_failed_executions,
             )
         )
     return ReplicationResult(points=points, load=load, n_jobs=cfg.n_jobs)

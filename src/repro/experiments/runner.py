@@ -3,8 +3,16 @@
 A *load sweep* runs the same (workload, cluster, estimator) combination over
 a grid of offered loads, rescaling arrival times per point
 (:func:`repro.workload.transforms.scale_load`), and records utilization and
-slowdown at each.  Estimators and clusters are passed as factories because
-both are stateful and every simulation run needs fresh instances.
+slowdown at each.
+
+The headline experiments no longer thread factory closures through this
+module: they describe each run as a picklable
+:class:`~repro.experiments.specs.RunSpec` and execute the grid through
+:func:`repro.experiments.parallel.run_sweep` (multi-process fan-out plus
+the on-disk result cache), of which serial in-process execution is the
+``max_workers=1`` degenerate case.  :func:`load_sweep` remains as the
+factory-based in-process helper for ad-hoc sweeps over estimators that are
+not registry-constructible.
 """
 
 from __future__ import annotations

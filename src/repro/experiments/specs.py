@@ -1,0 +1,256 @@
+"""Declarative, picklable run specifications for the sweep subsystem.
+
+The sweep experiments (Figures 5, 6, 8 and the seed replication) used to
+thread *factory closures* through :mod:`repro.experiments.runner` — fine in
+process, but closures do not pickle, which rules out multi-process fan-out.
+This module replaces them with plain-data **specs**: frozen dataclasses
+whose fields are JSON-able scalars, so a spec can be
+
+* pickled into a :class:`concurrent.futures.ProcessPoolExecutor` worker,
+* canonicalized into a stable JSON document, and
+* hashed (SHA-256) into the on-disk cache key of
+  :mod:`repro.experiments.cache`.
+
+A spec is *materialized* into live objects (workload, cluster, estimator,
+policy) inside whichever process runs it.  Estimators and policies are
+looked up by name in module-level registries; extensions register their own
+factories with :func:`register_estimator` / :func:`register_policy` before
+building specs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cluster import Cluster, paper_cluster
+from repro.core import (
+    Estimator,
+    HybridEstimator,
+    LastInstance,
+    NoEstimation,
+    OnlineSimilarityEstimator,
+    OracleEstimator,
+    RegressionEstimator,
+    ReinforcementLearning,
+    RobustLineSearch,
+    SuccessiveApproximation,
+)
+from repro.sim.policies import EasyBackfilling, Fcfs, Policy, ShortestJobFirst
+from repro.workload import (
+    Workload,
+    drop_full_machine_jobs,
+    lanl_cm5_like,
+    read_swf,
+    scale_load,
+)
+
+#: Estimator factories constructible from a spec, by name.  Factories take
+#: the spec's keyword arguments; stateless names map straight to classes.
+ESTIMATOR_REGISTRY: Dict[str, Callable[..., Estimator]] = {
+    "none": NoEstimation,
+    "successive": SuccessiveApproximation,
+    "last-instance": LastInstance,
+    "rl": ReinforcementLearning,
+    "regression": RegressionEstimator,
+    "line-search": RobustLineSearch,
+    "online": OnlineSimilarityEstimator,
+    "hybrid": HybridEstimator,
+    "oracle": OracleEstimator,
+}
+
+POLICY_REGISTRY: Dict[str, Callable[..., Policy]] = {
+    "fcfs": Fcfs,
+    "sjf": ShortestJobFirst,
+    "easy-backfilling": EasyBackfilling,
+}
+
+
+def register_estimator(name: str, factory: Callable[..., Estimator]) -> None:
+    """Make ``EstimatorSpec(name=...)`` resolvable to ``factory``.
+
+    Workers resolve names against *their own* registry, so custom factories
+    must be registered at import time of the module that defines them (a
+    plain module-level call), not conditionally at runtime.
+    """
+    ESTIMATOR_REGISTRY[name] = factory
+
+
+def register_policy(name: str, factory: Callable[..., Policy]) -> None:
+    """Make ``PolicySpec(name=...)`` resolvable to ``factory``."""
+    POLICY_REGISTRY[name] = factory
+
+
+def _freeze_kwargs(kwargs: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Sort and tuple-ize kwargs so equal configurations hash equally."""
+    for key, value in kwargs.items():
+        if not isinstance(value, (int, float, str, bool, type(None))):
+            raise TypeError(
+                f"spec kwarg {key}={value!r} is not a JSON-able scalar; "
+                "register a named factory closing over rich arguments instead"
+            )
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How to (re)build a workload inside any process.
+
+    ``source`` is ``"lanl-cm5-synthetic"`` (the calibrated generator —
+    deterministic in ``(n_jobs, seed)``) or ``"swf"`` (read ``trace_path``).
+    ``load`` rescales arrival times to the given offered load
+    (:func:`repro.workload.transforms.scale_load`); ``None`` leaves the
+    trace as-is.
+    """
+
+    n_jobs: int = 20_000
+    seed: int = 0
+    source: str = "lanl-cm5-synthetic"
+    trace_path: Optional[str] = None
+    drop_full_machine: bool = True
+    load: Optional[float] = None
+
+    def base_key(self) -> Tuple:
+        """Identity of the workload *before* load scaling (memoization key)."""
+        return (self.source, self.n_jobs, self.seed, self.trace_path,
+                self.drop_full_machine)
+
+    def materialize(self) -> Workload:
+        base = _base_workload(self)
+        if self.load is None:
+            return base
+        return scale_load(base, self.load)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the workload content's provenance.
+
+        Synthetic traces are fully determined by their parameters; SWF
+        traces additionally hash the file bytes so a regenerated trace file
+        invalidates cached sweep points.
+        """
+        h = hashlib.sha256(repr(self.base_key() + (self.load,)).encode())
+        if self.source == "swf" and self.trace_path:
+            with open(self.trace_path, "rb") as fh:
+                for chunk in iter(lambda: fh.read(1 << 20), b""):
+                    h.update(chunk)
+        return h.hexdigest()
+
+
+#: Per-process memo of materialized base workloads: a sweep re-uses one
+#: trace across every load point, and a pool worker re-uses it across every
+#: spec it executes, so generation cost is paid once per process.
+_BASE_WORKLOADS: Dict[Tuple, Workload] = {}
+_BASE_WORKLOADS_MAX = 4
+
+
+def _base_workload(spec: WorkloadSpec) -> Workload:
+    key = spec.base_key()
+    cached = _BASE_WORKLOADS.get(key)
+    if cached is not None:
+        return cached
+    if spec.source == "lanl-cm5-synthetic":
+        workload = lanl_cm5_like(n_jobs=spec.n_jobs, seed=spec.seed)
+    elif spec.source == "swf":
+        if not spec.trace_path:
+            raise ValueError("WorkloadSpec(source='swf') requires trace_path")
+        workload, _report = read_swf(spec.trace_path)
+    else:
+        raise ValueError(f"unknown workload source {spec.source!r}")
+    if spec.drop_full_machine:
+        workload = drop_full_machine_jobs(workload)
+    if len(_BASE_WORKLOADS) >= _BASE_WORKLOADS_MAX:
+        _BASE_WORKLOADS.pop(next(iter(_BASE_WORKLOADS)))
+    _BASE_WORKLOADS[key] = workload
+    return workload
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The paper's 512x32MB + 512x``m``MB cluster, by parameters."""
+
+    second_tier_mem: float = 24.0
+    strategy: str = "best_fit"
+
+    def materialize(self) -> Cluster:
+        return paper_cluster(self.second_tier_mem, strategy=self.strategy)
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """An estimator by registry name plus frozen keyword arguments."""
+
+    name: str = "none"
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, **kwargs: Any) -> "EstimatorSpec":
+        return cls(name=name, kwargs=_freeze_kwargs(kwargs))
+
+    def materialize(self) -> Estimator:
+        try:
+            factory = ESTIMATOR_REGISTRY[self.name]
+        except KeyError:
+            raise KeyError(
+                f"unknown estimator {self.name!r}; registered: "
+                f"{sorted(ESTIMATOR_REGISTRY)}"
+            ) from None
+        return factory(**dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A scheduling policy by registry name plus frozen keyword arguments."""
+
+    name: str = "fcfs"
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, **kwargs: Any) -> "PolicySpec":
+        return cls(name=name, kwargs=_freeze_kwargs(kwargs))
+
+    def materialize(self) -> Policy:
+        try:
+            factory = POLICY_REGISTRY[self.name]
+        except KeyError:
+            raise KeyError(
+                f"unknown policy {self.name!r}; registered: {sorted(POLICY_REGISTRY)}"
+            ) from None
+        return factory(**dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-described simulation run: the unit the sweep executor
+    schedules, pickles into workers, and keys the result cache on."""
+
+    workload: WorkloadSpec
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    estimator: EstimatorSpec = field(default_factory=EstimatorSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    seed: int = 0  # failure-model seed (fixed across load points of a sweep)
+    label: str = ""
+
+    @property
+    def load(self) -> float:
+        """The offered load this point was run at (1.0 when unscaled)."""
+        return self.workload.load if self.workload.load is not None else 1.0
+
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-able, order-stable description of everything that affects
+        the simulation result (``label`` is presentation-only and excluded)."""
+        doc = asdict(self)
+        doc.pop("label")
+        doc["estimator"]["kwargs"] = [list(kv) for kv in self.estimator.kwargs]
+        doc["policy"]["kwargs"] = [list(kv) for kv in self.policy.kwargs]
+        return doc
+
+    def cache_key(self) -> str:
+        """SHA-256 over the canonical spec plus the workload fingerprint."""
+        payload = json.dumps(
+            {"spec": self.canonical(), "workload": self.workload.fingerprint()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -170,6 +170,14 @@ class Simulation:
 
     def _enqueue(self, now: float, job: Job, attempt: int, at_head: bool) -> None:
         requirement = self.estimator.estimate(job, attempt=attempt)
+        if attempt > 0 and not self.cluster.fits(job.procs, requirement):
+            # A *resubmission* whose refreshed estimate no machine class can
+            # hold.  The job already ran (and burned node-seconds); rejecting
+            # it here would silently drop it from the summaries while its
+            # waste stays in the global counters.  Fall back to the original
+            # request (feasible whenever the arrival estimate was unreduced;
+            # in the residual corner the rejection below still applies).
+            requirement = job.req_mem
         entry = QueuedJob(
             job=job, attempt=attempt, requirement=requirement, enqueue_time=now
         )

@@ -9,6 +9,7 @@ sequence for determinism.
 from __future__ import annotations
 
 import heapq
+import math
 from enum import IntEnum
 from typing import Any, List, Optional, Tuple
 
@@ -29,7 +30,7 @@ class EventQueue:
 
     def push(self, time: float, kind: EventKind, payload: Any) -> None:
         """Schedule ``payload`` to fire at ``time``."""
-        if time != time or time == float("inf"):  # NaN or unbounded
+        if not math.isfinite(time):  # NaN or either infinity
             raise ValueError(f"event time must be finite, got {time!r}")
         heapq.heappush(self._heap, (time, int(kind), self._seq, payload))
         self._seq += 1

@@ -72,7 +72,15 @@ class JobSummary:
 
     @property
     def slowdown(self) -> float:
-        """(wait + run) / run — the paper's slowdown metric [5]."""
+        """(wait + run) / run — the paper's slowdown metric [5].
+
+        Real traces occasionally record zero-second runtimes (sub-second
+        jobs truncated by the accounting); their slowdown is unbounded, so
+        return ``inf`` rather than raise — use :meth:`bounded_slowdown` for
+        a metric robust to such jobs.
+        """
+        if self.job.run_time <= 0:
+            return float("inf")
         return self.response_time / self.job.run_time
 
     def bounded_slowdown(self, threshold: float = 10.0) -> float:

@@ -220,6 +220,25 @@ class TestGroupBookkeeping:
             est.estimate(make_job(job_id=uid, user_id=uid))
         assert est.memory_footprint() == 15  # 3 scalars per group
 
+    def test_memory_footprint_counts_retry_guard(self):
+        # The per-job _failed_at dict is retained state and must show up in
+        # the space-efficiency accounting, one scalar per guarded job.
+        ladder = CapacityLadder([8.0, 32.0])
+        est = SuccessiveApproximation()
+        est.bind(ladder)
+        job = make_job(req_mem=32.0, used_mem=30.0)
+        est.estimate(job)
+        base = est.memory_footprint()
+        est.observe(
+            Feedback(job=job, succeeded=False, requirement=16.0, granted=16.0)
+        )
+        assert est.memory_footprint() == base + 1
+        # A success clears the guard entry and the count drops back.
+        est.observe(
+            Feedback(job=job, succeeded=True, requirement=32.0, granted=32.0)
+        )
+        assert est.memory_footprint() == base
+
 
 class TestRetryGuard:
     def test_high_attempt_returns_request(self):

@@ -1,0 +1,160 @@
+"""The parallel sweep executor, spec layer, and on-disk result cache."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.cache import SweepCache, resolve_cache
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    SweepError,
+    execute_spec,
+    run_sweep,
+    sweep_to_load_sweep,
+)
+from repro.experiments.specs import (
+    ClusterSpec,
+    EstimatorSpec,
+    PolicySpec,
+    RunSpec,
+    WorkloadSpec,
+)
+
+CFG = ExperimentConfig(n_jobs=800, loads=(0.5, 0.9))
+
+
+def small_specs(estimator="successive", **est_kwargs):
+    est = (
+        EstimatorSpec.make(estimator, **est_kwargs)
+        if est_kwargs
+        else EstimatorSpec(name=estimator)
+    )
+    return [
+        RunSpec(
+            workload=WorkloadSpec(n_jobs=CFG.n_jobs, seed=CFG.seed, load=load),
+            cluster=ClusterSpec(second_tier_mem=CFG.second_tier_mem),
+            estimator=est,
+            seed=CFG.seed,
+            label=f"{estimator}@{load:g}",
+        )
+        for load in CFG.loads
+    ]
+
+
+class TestSpecs:
+    def test_runspec_pickles(self):
+        spec = small_specs(alpha=2.0, beta=0.0)[0]
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_cache_key_stable_under_kwarg_order(self):
+        a = RunSpec(
+            workload=WorkloadSpec(n_jobs=100),
+            estimator=EstimatorSpec.make("successive", alpha=2.0, beta=0.0),
+        )
+        b = RunSpec(
+            workload=WorkloadSpec(n_jobs=100),
+            estimator=EstimatorSpec.make("successive", beta=0.0, alpha=2.0),
+        )
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_ignores_label_but_not_parameters(self):
+        import dataclasses
+
+        base = small_specs()[0]
+        assert dataclasses.replace(base, label="other").cache_key() == base.cache_key()
+        assert dataclasses.replace(base, seed=base.seed + 1).cache_key() != base.cache_key()
+
+    def test_unknown_names_fail_with_registry_listing(self):
+        with pytest.raises(KeyError, match="successive"):
+            EstimatorSpec(name="no-such-estimator").materialize()
+        with pytest.raises(KeyError, match="fcfs"):
+            PolicySpec(name="no-such-policy").materialize()
+
+    def test_non_scalar_kwargs_rejected(self):
+        with pytest.raises(TypeError, match="JSON-able scalar"):
+            EstimatorSpec.make("successive", key_fn=lambda j: j.user_id)
+
+
+class TestRunSweepParity:
+    def test_parallel_matches_serial_point_for_point(self):
+        specs = small_specs(alpha=2.0, beta=0.0) + small_specs("none")
+        serial = run_sweep(specs, max_workers=1)
+        parallel = run_sweep(specs, max_workers=2)
+        assert serial.points() == parallel.points()
+        assert parallel.max_workers == 2
+        # Identical LoadSweep series either way.
+        assert sweep_to_load_sweep("est", serial.outcomes[:2]) == sweep_to_load_sweep(
+            "est", parallel.outcomes[:2]
+        )
+
+    def test_outcomes_keep_spec_order_and_wall_time(self):
+        specs = small_specs("none")
+        report = run_sweep(specs, max_workers=2)
+        assert [o.spec for o in report.outcomes] == specs
+        assert all(o.wall_time > 0 for o in report.outcomes)
+        assert report.n_runs == len(specs)
+        assert report.runs_per_second > 0
+
+    def test_failed_point_reports_its_spec_without_killing_the_sweep(self):
+        specs = small_specs("none")
+        bad = RunSpec(
+            workload=WorkloadSpec(n_jobs=100),
+            estimator=EstimatorSpec(name="no-such-estimator"),
+            label="doomed",
+        )
+        report = run_sweep(specs + [bad], max_workers=2)
+        assert report.n_errors == 1
+        assert [o.ok for o in report.outcomes] == [True, True, False]
+        assert "no-such-estimator" in report.outcomes[-1].error
+        with pytest.raises(SweepError, match="doomed"):
+            report.points()
+
+    def test_execute_spec_envelope_captures_traceback(self):
+        outcome = execute_spec(
+            RunSpec(
+                workload=WorkloadSpec(n_jobs=100, source="unknown-source"),
+            )
+        )
+        assert not outcome.ok
+        assert "unknown-source" in outcome.error
+
+
+class TestSweepCache:
+    def test_round_trip_second_run_is_all_hits(self, tmp_path):
+        specs = small_specs(alpha=2.0, beta=0.0)
+        cold = SweepCache(tmp_path)
+        first = run_sweep(specs, cache=cold)
+        assert cold.hits == 0 and cold.misses == len(specs)
+
+        warm = SweepCache(tmp_path)
+        second = run_sweep(specs, cache=warm)
+        assert warm.hits == len(specs) and warm.misses == 0
+        assert second.n_cache_hits == len(specs)
+        assert first.points() == second.points()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = small_specs("none")[0]
+        cache = SweepCache(tmp_path)
+        run_sweep([spec], cache=cache)
+        (tmp_path / f"{spec.cache_key()}.json").write_text("{not json")
+        fresh = SweepCache(tmp_path)
+        report = run_sweep([spec], cache=fresh)
+        assert fresh.misses == 1 and report.n_cache_hits == 0
+        assert report.points()  # recomputed and rewritten
+
+    def test_failed_runs_are_not_cached(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        bad = RunSpec(
+            workload=WorkloadSpec(n_jobs=100),
+            estimator=EstimatorSpec(name="no-such-estimator"),
+        )
+        run_sweep([bad], cache=cache)
+        assert len(cache) == 0
+
+    def test_resolve_cache(self, tmp_path, monkeypatch):
+        assert resolve_cache(enabled=False, directory=tmp_path) is None
+        assert resolve_cache(directory=tmp_path).directory == tmp_path
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache() is None
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache().directory == tmp_path / "env"

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.cluster.cluster import Cluster
+from repro.core.base import Estimator
 from repro.core import (
     HybridEstimator,
     LastInstance,
@@ -59,6 +60,48 @@ class TestEveryEstimatorCompletesTheTrace:
             failure_model=FailureModel(rng=1, spurious_failure_prob=0.2),
         ).run()
         assert result.n_completed == 40
+
+
+class InfeasibleRetryEstimator(Estimator):
+    """First attempt under-estimates (forcing a resource failure); every
+    retry estimate exceeds every machine class in the cluster."""
+
+    name = "infeasible-retry"
+
+    def estimate(self, job, attempt=0):
+        return 16.0 if attempt == 0 else 1e9
+
+    def observe(self, feedback):
+        pass
+
+
+class TestInfeasibleResubmission:
+    def test_resubmission_falls_back_to_original_request(self):
+        # Regression: a job whose *refreshed* estimate no machine class can
+        # hold used to be rejected like a fresh arrival — silently dropped
+        # from the summaries after it had already run and burned
+        # node-seconds that stayed in the global waste counters.  A
+        # resubmission must instead fall back to the job's original request.
+        cluster = Cluster([(2, 32.0), (2, 16.0)])
+        job = make_job(job_id=1, procs=1, req_mem=32.0, used_mem=20.0)
+        result = Simulation(
+            make_workload([job], total_nodes=4),
+            cluster,
+            estimator=InfeasibleRetryEstimator(),
+        ).run()
+
+        assert result.rejected_jobs == []
+        assert result.n_completed == 1
+        summary = result.summaries[0]
+        assert summary.n_attempts == 2
+        assert summary.n_resource_failures == 1
+        # The retry ran at the original request, on a 32MB node.
+        assert summary.final_requirement == 32.0
+        assert summary.final_granted >= 20.0
+        # The failed first attempt's waste is accounted on the job *and* in
+        # the run totals (previously the job vanished while the waste stayed).
+        assert summary.wasted_node_seconds > 0
+        assert result.wasted_node_seconds == summary.wasted_node_seconds
 
 
 class TestPolicyEstimatorInterplay:

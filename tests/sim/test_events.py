@@ -45,6 +45,10 @@ class TestOrdering:
             q.push(float("nan"), EventKind.ARRIVAL, None)
         with pytest.raises(ValueError):
             q.push(float("inf"), EventKind.ARRIVAL, None)
+        with pytest.raises(ValueError):
+            # Regression: the old guard compared against +inf only and let
+            # -inf through to corrupt the heap ordering.
+            q.push(float("-inf"), EventKind.ARRIVAL, None)
 
     def test_bool(self):
         q = EventQueue()

@@ -67,6 +67,17 @@ class TestJobSummary:
         )
         assert short.bounded_slowdown(threshold=10.0) == 1.0
 
+    def test_zero_runtime_slowdown_is_inf_not_an_error(self):
+        # Real traces record zero-second runtimes (accounting truncation).
+        # Job validation rejects them at construction, but summaries built
+        # from externally-loaded records must not crash mean_slowdown with a
+        # ZeroDivisionError — the slowdown of a zero-runtime job is inf.
+        from types import SimpleNamespace
+
+        s = summary(job=SimpleNamespace(run_time=0.0), first_submit=0.0, end=50.0)
+        assert s.slowdown == float("inf")
+        assert s.bounded_slowdown(threshold=10.0) == pytest.approx(5.0)
+
 
 class TestSimResult:
     def make_result(self):

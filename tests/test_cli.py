@@ -72,6 +72,25 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             main(["experiment", "fig2"])
 
+    def test_sweep_experiment_with_workers_and_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "sweepcache"
+        argv = [
+            "experiment", "fig5", "--jobs", "800",
+            "--workers", "2", "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Figure 5" in first
+        assert any(cache_dir.glob("*.json"))
+        # Second run is served from the cache and prints identical tables.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_no_cache_flag_skips_cache_writes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(["experiment", "fig5", "--jobs", "800", "--no-cache"]) == 0
+        assert not (tmp_path / "envcache").exists()
+
 
 class TestDesign:
     def test_ranks_candidates(self, capsys):
