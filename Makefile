@@ -4,7 +4,7 @@ PYTHON ?= python
 # Pool size for the parallel sweep benchmarks (sweep-bench target).
 REPRO_BENCH_WORKERS ?= 4
 
-.PHONY: install test bench bench-full sweep-bench examples artifacts clean
+.PHONY: install test bench bench-full sweep-bench faults-bench examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,12 @@ sweep-bench:
 		benchmarks/test_fig8_memory_sweep.py \
 		benchmarks/test_replication.py \
 		--benchmark-only
+
+# The fault-injection study (§2.1 "faulty machines") plus the executor's
+# crash-resilience stress tests (worker SIGKILL, timeout, checkpoint resume).
+faults-bench:
+	$(PYTHON) -m pytest benchmarks/test_faults.py --benchmark-only
+	$(PYTHON) -m pytest tests/experiments/test_resilience.py tests/sim/test_faults.py -q
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done

@@ -1,0 +1,45 @@
+"""EXT bench: fault injection — §2.1's "faulty machines" at machine level.
+
+Regenerates the fault-injection study (node failure/repair processes swept
+over per-node MTBF) and checks the tentpole claims: fault kills degrade the
+implicit-feedback estimator, the explicit guard is nearly insensitive, and
+the clean (MTBF = inf) column reproduces the fault-free results exactly.
+"""
+
+import dataclasses
+import math
+
+from conftest import run_once
+
+from repro.experiments import faults
+
+
+def test_fault_injection_sensitivity(benchmark, bench_config, save_artifact):
+    cfg = dataclasses.replace(bench_config, n_jobs=min(bench_config.n_jobs, 10_000))
+    result = run_once(benchmark, lambda: faults.run(cfg))
+    save_artifact("faults", result.format_table() + "\n\n" + result.format_chart())
+
+    def util_at(variant, mtbf):
+        return next(
+            p.utilization
+            for p in result.points
+            if p.variant == variant and p.node_mtbf == mtbf
+        )
+
+    flakiest = min(p.node_mtbf for p in result.points)
+
+    # Clean cluster: estimation beats the baseline clearly (as in Figure 5).
+    assert util_at("implicit", math.inf) > util_at("no-estimation", math.inf) * 1.2
+
+    # Faults actually happened at the flaky end and killed running jobs.
+    flaky_points = [p for p in result.points if p.node_mtbf == flakiest]
+    assert all(p.n_node_failures > 0 for p in flaky_points)
+    assert any(p.n_fault_kills > 0 for p in flaky_points)
+
+    # The explicit guard shrugs off fault kills that degrade implicit
+    # feedback, in both utilization and estimation activity.
+    assert result.degradation("explicit-guard") <= result.degradation("implicit")
+    assert util_at("explicit-guard", flakiest) >= util_at("implicit", flakiest) * 0.98
+    assert result.reduction_lost("explicit-guard") <= (
+        result.reduction_lost("implicit") + 0.01
+    )

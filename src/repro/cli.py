@@ -89,6 +89,7 @@ EXPERIMENTS = (
     "fig8",
     "table1",
     "falsepositives",
+    "faults",
     "policies_exp",
     "replication",
 )
@@ -147,16 +148,25 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim import FaultConfig
+
     workload = drop_full_machine_jobs(_load_workload(args))
     workload = scale_load(workload, args.load)
     cluster = paper_cluster(args.tier2)
     estimator = ESTIMATORS[args.estimator](args.seed)
+    fault_config = None
+    if args.node_mtbf > 0:
+        fault_config = FaultConfig(
+            node_mtbf=args.node_mtbf, node_mttr=args.node_mttr
+        )
     result = simulate(
         workload,
         cluster,
         estimator=estimator,
         policy=POLICIES[args.policy](),
         seed=args.seed,
+        spurious_failure_prob=args.spurious,
+        fault_config=fault_config,
     )
     print(result.summary_table())
     print(f"utilization: {utilization(result):.3f}")
@@ -170,13 +180,22 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     import logging
 
     from repro.experiments.cache import resolve_cache
+    from repro.experiments.parallel import ResilienceConfig, set_default_resilience
 
     module = importlib.import_module(f"repro.experiments.{args.name}")
     config = ExperimentConfig(n_jobs=args.jobs, seed=args.seed)
     kwargs = {}
     if "max_workers" in inspect.signature(module.run).parameters:
         # Sweep-capable experiment: wire up the pool + cache and surface the
-        # executor's runs/s + cache-hit accounting on stderr.
+        # executor's runs/s + cache-hit accounting on stderr.  The resilience
+        # knobs apply to every run_sweep call the experiment makes.
+        set_default_resilience(
+            ResilienceConfig(
+                timeout=args.run_timeout,
+                max_retries=args.max_retries,
+                checkpoint=args.checkpoint,
+            )
+        )
         kwargs["max_workers"] = args.workers
         kwargs["cache"] = resolve_cache(
             enabled=not args.no_cache, directory=args.cache_dir
@@ -252,6 +271,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--estimator", choices=sorted(ESTIMATORS), default="successive"
     )
     p.add_argument("--policy", choices=sorted(POLICIES), default="fcfs")
+    p.add_argument(
+        "--spurious",
+        type=float,
+        default=0.0,
+        help="per-attempt spurious-failure probability (§2.1 false positives)",
+    )
+    p.add_argument(
+        "--node-mtbf",
+        type=float,
+        default=0.0,
+        help="per-node mean time between failures, seconds (0 = no faults)",
+    )
+    p.add_argument(
+        "--node-mttr",
+        type=float,
+        default=3600.0,
+        help="mean node repair time, seconds (with --node-mtbf)",
+    )
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -271,6 +308,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--cache-dir",
         help="sweep cache directory (default: $REPRO_CACHE_DIR, unset = off)",
+    )
+    p.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        help="per-run wall-clock timeout in seconds (default: none)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retries per failed/timed-out run, with exponential backoff",
+    )
+    p.add_argument(
+        "--checkpoint",
+        help=(
+            "JSONL manifest of completed runs; re-running with the same "
+            "path resumes an interrupted sweep from its partial results"
+        ),
     )
     p.set_defaults(fn=cmd_experiment)
 

@@ -103,6 +103,11 @@ class Cluster:
         self.ladder = CapacityLadder(merged.keys())
         self._total: Dict[float, int] = {lvl: merged[lvl] for lvl in self.ladder.levels}
         self._free: Dict[float, int] = dict(self._total)
+        # Nodes taken out of service by fault injection: neither free nor
+        # allocated.  ``_total`` stays the hardware inventory, so feasibility
+        # (:meth:`fits`) is judged against the repaired cluster — a job is
+        # never *rejected* because of a transient outage, it waits.
+        self._down: Dict[float, int] = {lvl: 0 for lvl in self.ladder.levels}
         self._declared_order: Tuple[float, ...] = tuple(declared_order)
 
         # Materialized machine list for introspection (not on the hot path).
@@ -124,13 +129,31 @@ class Cluster:
 
     @property
     def busy_nodes(self) -> int:
-        return self.total_nodes - self.free_nodes
+        return self.total_nodes - self.free_nodes - self.down_nodes
+
+    @property
+    def down_nodes(self) -> int:
+        """Nodes currently out of service (fault injection)."""
+        return sum(self._down.values())
+
+    @property
+    def in_service_nodes(self) -> int:
+        return self.total_nodes - self.down_nodes
 
     def total_at_level(self, level: float) -> int:
         return self._total.get(float(level), 0)
 
     def free_at_level(self, level: float) -> int:
         return self._free.get(float(level), 0)
+
+    def down_at_level(self, level: float) -> int:
+        return self._down.get(float(level), 0)
+
+    def in_service_by_level(self) -> Dict[float, int]:
+        """In-service (total minus down) node count per capacity level."""
+        return {
+            lvl: self._total[lvl] - self._down[lvl] for lvl in self.ladder.levels
+        }
 
     def free_with_capacity(self, min_capacity: float) -> int:
         """Free nodes whose capacity is >= ``min_capacity``."""
@@ -204,20 +227,47 @@ class Cluster:
         """Return an allocation's nodes to the free pool.
 
         Releasing an allocation twice (or one from another cluster) is a
-        bookkeeping bug; it is detected by the free <= total invariant.
+        bookkeeping bug; it is detected by the free <= total - down invariant.
         """
         for lvl, count in allocation.counts.items():
             new_free = self._free.get(lvl, 0) + count
-            if lvl not in self._total or new_free > self._total[lvl]:
+            in_service = self._total.get(lvl, 0) - self._down.get(lvl, 0)
+            if lvl not in self._total or new_free > in_service:
                 raise ValueError(
                     f"release of {count} nodes at level {lvl} would exceed the "
                     f"cluster's capacity — double release or foreign allocation?"
                 )
             self._free[lvl] = new_free
 
+    # ------------------------------------------------------------- faults
+    def fail_node(self, level: float) -> None:
+        """Take one *free* node at ``level`` out of service.
+
+        The engine is responsible for making the victim free first (killing
+        and releasing whatever execution held it); calling this with no free
+        node at the level is a sequencing bug and raises.
+        """
+        level = float(level)
+        if self._free.get(level, 0) <= 0:
+            raise ValueError(
+                f"no free node at level {level:g} to fail — kill and release "
+                f"the occupying execution first"
+            )
+        self._free[level] -= 1
+        self._down[level] += 1
+
+    def repair_node(self, level: float) -> None:
+        """Return one downed node at ``level`` to service."""
+        level = float(level)
+        if self._down.get(level, 0) <= 0:
+            raise ValueError(f"no downed node at level {level:g} to repair")
+        self._down[level] -= 1
+        self._free[level] += 1
+
     def reset(self) -> None:
         """Free every node (start of a fresh simulation run)."""
         self._free = dict(self._total)
+        self._down = {lvl: 0 for lvl in self.ladder.levels}
 
     def __repr__(self) -> str:
         tiers = ", ".join(

@@ -1,4 +1,4 @@
-"""Multi-process sweep executor.
+"""Crash-resilient multi-process sweep executor.
 
 Every headline artifact (Figures 5, 6, 8; the seed replication) is a grid
 of *independent* simulation runs, each described by a picklable
@@ -6,26 +6,65 @@ of *independent* simulation runs, each described by a picklable
 list out over a :class:`concurrent.futures.ProcessPoolExecutor` and
 collects results **in spec order**, so the parallel path is point-for-point
 identical to the serial one — ``max_workers=1`` *is* the serial path (no
-pool is created), and a broken pool (restricted environments without
-``fork``/semaphores) degrades to in-process execution rather than failing.
+pool is created), and a restricted environment without ``fork``/semaphores
+degrades to in-process execution rather than failing.
+
+Resilience model
+----------------
+Specs are submitted as *individual futures* (a sliding window of at most
+``max_workers`` in flight), never ``pool.map``, so one lost worker cannot
+take the whole grid down:
+
+* **Incremental write-back** — each result is committed to the
+  :class:`~repro.experiments.cache.SweepCache` (and the checkpoint
+  manifest) the moment it lands, not when the sweep ends.  A sweep killed
+  halfway leaves everything it computed on disk.
+* **Pool rebuild** — a worker dying (OOM kill, segfault, ``SIGKILL``)
+  breaks the whole :class:`ProcessPoolExecutor`; the executor rebuilds the
+  pool and resubmits only the *unfinished* specs, preserving every
+  completed outcome.  A spec that repeatedly coincides with pool crashes is
+  quarantined to in-process execution so a poison spec cannot crash-loop
+  the sweep forever.
+* **Bounded retry** — a failed run is retried up to ``max_retries`` times
+  with exponential backoff plus jitter before its error is reported.
+* **Per-spec timeout** — a run exceeding ``timeout`` seconds of wall clock
+  since submission is abandoned (the worker slot is reclaimed when the task
+  eventually finishes; the result is discarded) and counts as a retryable
+  failure.
+* **Checkpoint manifest** — with ``checkpoint=<path>``, completed points
+  are appended to a JSONL manifest; a re-run restores them without
+  recomputation (even with no cache configured), so a killed sweep resumes
+  from its partial results.
 
 Each run returns a :class:`RunOutcome` envelope: the spec, its
 :class:`~repro.experiments.runner.SweepPoint` (or a formatted traceback if
 the worker raised — one bad point reports itself instead of killing the
 sweep), the wall time, and whether it was served from the
-:class:`~repro.experiments.cache.SweepCache`.  Sweep-level throughput and
-cache accounting is reported on :class:`SweepReport` and logged via the
-``repro.sweep`` logger.
+:class:`~repro.experiments.cache.SweepCache` or the checkpoint.
+Sweep-level throughput, cache, and resilience accounting is reported on
+:class:`SweepReport` and logged via the ``repro.sweep`` logger.
 """
 
 from __future__ import annotations
 
+import json
 import logging
+import os
+import random
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments.cache import SweepCache
 from repro.experiments.runner import LoadSweep, SweepPoint, run_point
@@ -33,6 +72,16 @@ from repro.experiments.specs import RunSpec
 from repro.sim.metrics import mean_slowdown, utilization
 
 logger = logging.getLogger("repro.sweep")
+
+#: Errors that mean "no usable process pool in this environment" (no fork,
+#: no /dev/shm, missing _multiprocessing).  Deliberately narrow: a
+#: ``BrokenProcessPool`` is *not* in this set — it means a worker died
+#: mid-sweep and is handled by rebuilding the pool while keeping every
+#: completed outcome, not by discarding the sweep and starting over.
+_POOL_UNAVAILABLE = (OSError, ImportError, PermissionError)
+
+#: Backoff delays are capped so a high retry count cannot stall a sweep.
+_BACKOFF_CAP = 30.0
 
 
 @dataclass(frozen=True)
@@ -96,6 +145,111 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         )
 
 
+# --------------------------------------------------------------- resilience
+@dataclass
+class ResilienceConfig:
+    """Sweep-level fault-tolerance knobs (see the module docstring).
+
+    The module-level default (set via :func:`set_default_resilience`, e.g.
+    by the CLI's ``--run-timeout``/``--max-retries``/``--checkpoint`` flags)
+    applies to every :func:`run_sweep` call that does not pass the knob
+    explicitly — experiments plumb ``max_workers``/``cache`` through and
+    inherit resilience settings from here.
+    """
+
+    timeout: Optional[float] = None  # per-spec wall-clock timeout (seconds)
+    max_retries: int = 0
+    retry_backoff: float = 0.25  # base delay; grows 2x per retry, jittered
+    checkpoint: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+
+
+_DEFAULT_RESILIENCE = ResilienceConfig()
+
+
+def set_default_resilience(config: ResilienceConfig) -> ResilienceConfig:
+    """Install ``config`` as the default for ``run_sweep``; returns the old."""
+    global _DEFAULT_RESILIENCE
+    previous = _DEFAULT_RESILIENCE
+    _DEFAULT_RESILIENCE = config
+    return previous
+
+
+@dataclass
+class _ExecutionStats:
+    """Mutable resilience counters threaded through one ``_execute_all``."""
+
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_pool_rebuilds: int = 0
+
+
+class SweepCheckpoint:
+    """Append-only JSONL manifest of completed sweep points.
+
+    One line per completed spec: its cache key, label, wall time, and the
+    full point payload.  Appends are flushed and fsynced, so a sweep killed
+    at any instant loses at most the line being written — and
+    :meth:`load` skips a torn trailing line (or any corrupt/stale line)
+    instead of failing.  Unlike the :class:`SweepCache` (keyed files,
+    optional), the manifest is self-contained: resuming needs only this one
+    file.
+    """
+
+    _VERSION = 1
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def load(self) -> Dict[str, SweepPoint]:
+        """Completed points by cache key; tolerant of torn/corrupt lines."""
+        points: Dict[str, SweepPoint] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return points
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+                if doc.get("version") != self._VERSION:
+                    continue
+                points[str(doc["key"])] = SweepPoint(**doc["point"])
+            except (ValueError, TypeError, KeyError):
+                continue  # torn write from a crash, or a foreign line
+        return points
+
+    def record(self, spec: RunSpec, point: SweepPoint, wall_time: float = 0.0) -> None:
+        """Append one completed point (crash-safe: flush + fsync)."""
+        doc = {
+            "version": self._VERSION,
+            "key": spec.cache_key(),
+            "label": spec.label,
+            "wall_time": wall_time,
+            "point": asdict(point),
+        }
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
 @dataclass
 class SweepReport:
     """Ordered outcomes of one sweep plus throughput/cache accounting."""
@@ -103,6 +257,14 @@ class SweepReport:
     outcomes: List[RunOutcome]
     wall_time: float
     max_workers: int
+    #: Runs retried after a failure/timeout (bounded by ``max_retries`` each).
+    n_retries: int = 0
+    #: Runs abandoned for exceeding the per-spec timeout (before retries).
+    n_timeouts: int = 0
+    #: Times a dead worker broke the pool and it was rebuilt mid-sweep.
+    n_pool_rebuilds: int = 0
+    #: Points restored from a checkpoint manifest of an earlier (killed) run.
+    n_resumed: int = 0
 
     @property
     def n_runs(self) -> int:
@@ -135,62 +297,413 @@ class SweepReport:
         return [o.point for o in self.outcomes]
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.n_runs} runs in {self.wall_time:.2f}s "
             f"({self.runs_per_second:.1f} runs/s, workers={self.max_workers}, "
             f"{self.n_cache_hits} cache hits, {self.n_errors} errors)"
         )
+        extras = [
+            f"{count} {label}"
+            for count, label in (
+                (self.n_resumed, "resumed from checkpoint"),
+                (self.n_retries, "retries"),
+                (self.n_timeouts, "timeouts"),
+                (self.n_pool_rebuilds, "pool rebuilds"),
+            )
+            if count
+        ]
+        if extras:
+            text += " [" + ", ".join(extras) + "]"
+        return text
 
 
 def run_sweep(
     specs: Sequence[RunSpec],
     max_workers: int = 1,
     cache: Optional[SweepCache] = None,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    retry_backoff: Optional[float] = None,
+    checkpoint: Optional[Union[str, Path, SweepCheckpoint]] = None,
 ) -> SweepReport:
     """Execute every spec, in parallel when ``max_workers > 1``.
 
-    Cache lookups happen up front in the parent process; only misses are
-    dispatched, and their results are written back.  Failed runs are never
-    cached.  Results always come back in ``specs`` order.
+    Cache and checkpoint lookups happen up front in the parent process;
+    only misses are dispatched, and each result is written back the moment
+    it lands (never at the end — a killed sweep keeps its partial work).
+    Failed runs are never cached.  Results always come back in ``specs``
+    order.  ``timeout``/``max_retries``/``retry_backoff``/``checkpoint``
+    default to the module-level :class:`ResilienceConfig` (see
+    :func:`set_default_resilience`).
     """
     t0 = time.perf_counter()
+    defaults = _DEFAULT_RESILIENCE
+    timeout = defaults.timeout if timeout is None else timeout
+    max_retries = defaults.max_retries if max_retries is None else max_retries
+    retry_backoff = (
+        defaults.retry_backoff if retry_backoff is None else retry_backoff
+    )
+    checkpoint = defaults.checkpoint if checkpoint is None else checkpoint
+    if checkpoint is not None and not isinstance(checkpoint, SweepCheckpoint):
+        checkpoint = SweepCheckpoint(checkpoint)
+    restored = checkpoint.load() if checkpoint is not None else {}
+
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     todo: List[int] = []
+    n_resumed = 0
     for i, spec in enumerate(specs):
         point = cache.get(spec) if cache is not None else None
+        if point is None and restored:
+            point = restored.get(spec.cache_key())
+            if point is not None:
+                n_resumed += 1
+                if cache is not None:
+                    cache.put(spec, point)  # promote into the cache
         if point is not None:
             outcomes[i] = RunOutcome(spec=spec, point=point, cached=True)
         else:
             todo.append(i)
 
+    stats = _ExecutionStats()
     if todo:
-        computed = _execute_all([specs[i] for i in todo], max_workers)
-        for i, outcome in zip(todo, computed):
-            outcomes[i] = outcome
-            if cache is not None and outcome.ok:
-                cache.put(outcome.spec, outcome.point)
+
+        def commit(j: int, outcome: RunOutcome) -> None:
+            outcomes[todo[j]] = outcome
+            if outcome.ok:
+                if cache is not None:
+                    cache.put(outcome.spec, outcome.point)
+                if checkpoint is not None:
+                    checkpoint.record(outcome.spec, outcome.point, outcome.wall_time)
+
+        _execute_all(
+            [specs[i] for i in todo],
+            max_workers,
+            timeout=timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            on_result=commit,
+            stats=stats,
+        )
 
     report = SweepReport(
         outcomes=list(outcomes),
         wall_time=time.perf_counter() - t0,
         max_workers=max(1, max_workers),
+        n_retries=stats.n_retries,
+        n_timeouts=stats.n_timeouts,
+        n_pool_rebuilds=stats.n_pool_rebuilds,
+        n_resumed=n_resumed,
     )
     logger.info("sweep: %s", report.summary())
     return report
 
 
-def _execute_all(specs: Sequence[RunSpec], max_workers: int) -> List[RunOutcome]:
+def _backoff_delay(
+    base: float, attempt: int, rng: Optional[random.Random] = None
+) -> float:
+    """Exponential backoff with jitter: ``base * 2^(attempt-1) * U[0.5, 1.5)``."""
+    if base <= 0:
+        return 0.0
+    jitter = 0.5 + (rng or random).random()
+    return min(base * (2.0 ** max(attempt - 1, 0)) * jitter, _BACKOFF_CAP)
+
+
+def _run_with_retries(
+    spec: RunSpec,
+    max_retries: int,
+    retry_backoff: float,
+    stats: _ExecutionStats,
+    rng: Optional[random.Random] = None,
+) -> RunOutcome:
+    """In-process execution with the same bounded-retry policy as the pool."""
+    outcome = execute_spec(spec)
+    attempt = 0
+    while not outcome.ok and attempt < max_retries:
+        attempt += 1
+        stats.n_retries += 1
+        time.sleep(_backoff_delay(retry_backoff, attempt, rng))
+        outcome = execute_spec(spec)
+    return outcome
+
+
+def _execute_all(
+    specs: Sequence[RunSpec],
+    max_workers: int,
+    timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff: float = 0.25,
+    on_result: Optional[Callable[[int, RunOutcome], None]] = None,
+    stats: Optional[_ExecutionStats] = None,
+) -> List[RunOutcome]:
+    """Execute ``specs``, invoking ``on_result(index, outcome)`` as each
+    lands (indices are positions in ``specs``; completion order is
+    arbitrary).  Returns the outcomes in ``specs`` order."""
+    stats = stats if stats is not None else _ExecutionStats()
+    results: List[Optional[RunOutcome]] = [None] * len(specs)
+    emit = on_result or (lambda j, outcome: None)
+
+    def finish(j: int, outcome: RunOutcome) -> None:
+        results[j] = outcome
+        emit(j, outcome)
+
     if max_workers > 1 and len(specs) > 1:
+        _PoolExecution(
+            specs,
+            min(max_workers, len(specs)),
+            timeout=timeout,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            finish=finish,
+            stats=stats,
+        ).run()
+    else:
+        rng = random.Random(0x0B0FF)
+        for j, spec in enumerate(specs):
+            finish(j, _run_with_retries(spec, max_retries, retry_backoff, stats, rng))
+    return results
+
+
+class _PoolExecution:
+    """One parallel ``_execute_all``: sliding-window futures over a pool.
+
+    At most ``workers`` futures are in flight at a time, so every pending
+    future is (approximately) *running*, which makes the per-spec timeout a
+    measure of actual runtime rather than queue wait.  All mutable state
+    lives here so broken-pool recovery can reason about exactly which specs
+    are unfinished.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[RunSpec],
+        workers: int,
+        timeout: Optional[float],
+        max_retries: int,
+        retry_backoff: float,
+        finish: Callable[[int, RunOutcome], None],
+        stats: _ExecutionStats,
+    ) -> None:
+        self.specs = specs
+        self.workers = workers
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.finish = finish
+        self.stats = stats
+        n = len(specs)
+        self.todo: deque = deque(range(n))
+        self.pending: Dict[Future, int] = {}
+        self.started: Dict[Future, float] = {}
+        self.retries_used = [0] * n
+        #: Pool crashes a spec was in flight for.  A spec exceeding the
+        #: quarantine threshold runs in-process instead of being resubmitted,
+        #: so a poison spec (e.g. one that OOM-kills its worker every time)
+        #: cannot crash-loop the sweep; innocent bystanders of one crash are
+        #: well below the threshold and go back to the pool.
+        self.crashes = [0] * n
+        self.not_before = [0.0] * n
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.backoff_rng = random.Random(0x0B0FF)
+
+    # Quarantine after more pool crashes than plausible for a bystander.
+    @property
+    def crash_quarantine(self) -> int:
+        return max(1, self.max_retries)
+
+    def run(self) -> None:
+        self.pool = self._new_pool()
+        if self.pool is None:
+            self._drain_in_process()
+            return
         try:
-            with ProcessPoolExecutor(max_workers=min(max_workers, len(specs))) as pool:
-                return list(pool.map(execute_spec, specs))
-        except (OSError, ImportError, PermissionError, RuntimeError) as exc:
+            while self.todo or self.pending:
+                self._submit_ready()
+                if self.pending:
+                    self._wait_round()
+        finally:
+            if self.pool is not None:
+                self.pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------- plumbing
+    def _new_pool(self) -> Optional[ProcessPoolExecutor]:
+        try:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        except _POOL_UNAVAILABLE as exc:
             # Restricted environments (no /dev/shm, no fork) land here:
             # degrade to in-process execution rather than failing the sweep.
             logger.warning(
                 "process pool unavailable (%s); running sweep in-process", exc
             )
-    return [execute_spec(spec) for spec in specs]
+            return None
+
+    def _drain_in_process(self) -> None:
+        """Run every unfinished spec serially, keeping completed outcomes."""
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+        while self.todo:
+            j = self.todo.popleft()
+            self.finish(
+                j,
+                _run_with_retries(
+                    self.specs[j],
+                    self.max_retries - self.retries_used[j],
+                    self.retry_backoff,
+                    self.stats,
+                    self.backoff_rng,
+                ),
+            )
+
+    def _submit_ready(self) -> None:
+        now = time.monotonic()
+        for _ in range(len(self.todo)):
+            if not self.todo or len(self.pending) >= self.workers:
+                break
+            j = self.todo[0]
+            if self.not_before[j] > now:
+                self.todo.rotate(-1)  # backing off; look at the next spec
+                continue
+            self.todo.popleft()
+            if self.crashes[j] > self.crash_quarantine:
+                logger.warning(
+                    "spec %s was in flight for %d pool crashes; quarantining "
+                    "to in-process execution",
+                    self.specs[j].label or f"#{j}",
+                    self.crashes[j],
+                )
+                self.finish(
+                    j,
+                    _run_with_retries(
+                        self.specs[j], 0, self.retry_backoff, self.stats
+                    ),
+                )
+                continue
+            try:
+                future = self.pool.submit(execute_spec, self.specs[j])
+            except BrokenExecutor as exc:
+                # The break can surface at submit time (a worker died between
+                # wait rounds) — same recovery as a break seen at result time.
+                self._recover_broken_pool(j, exc)
+                return
+            except _POOL_UNAVAILABLE as exc:
+                logger.warning(
+                    "submission to the process pool failed (%s); running the "
+                    "remaining %d specs in-process",
+                    exc,
+                    len(self.todo) + 1,
+                )
+                self.todo.appendleft(j)
+                self._recall_pending()
+                self._drain_in_process()
+                return
+            self.pending[future] = j
+            self.started[future] = time.monotonic()
+        if not self.pending and self.todo:
+            # Everything left is backing off; sleep until the earliest is due.
+            soonest = min(self.not_before[j] for j in self.todo)
+            delay = soonest - time.monotonic()
+            if delay > 0:
+                time.sleep(min(delay, 1.0))
+
+    def _recall_pending(self) -> None:
+        """Move every pending index back onto ``todo`` (pool is dead)."""
+        recalled = sorted(self.pending.values())
+        self.pending.clear()
+        self.started.clear()
+        self.todo.extendleft(reversed(recalled))
+
+    def _wait_round(self) -> None:
+        wait_timeout = None
+        if self.timeout is not None:
+            earliest = min(self.started[f] for f in self.pending)
+            wait_timeout = max(0.0, earliest + self.timeout - time.monotonic()) + 0.02
+        done, _ = wait(
+            list(self.pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            self._expire_overdue()
+            return
+        for future in done:
+            if future not in self.pending:
+                continue  # cleared by broken-pool recovery earlier this round
+            j = self.pending.pop(future)
+            t_submit = self.started.pop(future)
+            try:
+                outcome = future.result()
+            except BrokenExecutor as exc:
+                self._recover_broken_pool(j, exc)
+                return
+            except CancelledError:
+                continue
+            except Exception:
+                # Submission-side failure (e.g. the spec did not pickle):
+                # report it on the outcome envelope like a worker exception.
+                outcome = RunOutcome(
+                    spec=self.specs[j],
+                    point=None,
+                    error=traceback.format_exc(),
+                    wall_time=time.monotonic() - t_submit,
+                )
+            self._resolve(j, outcome)
+
+    def _expire_overdue(self) -> None:
+        now = time.monotonic()
+        for future, j in list(self.pending.items()):
+            elapsed = now - self.started[future]
+            if elapsed < self.timeout:
+                continue
+            del self.pending[future]
+            del self.started[future]
+            future.cancel()  # a running task cannot be cancelled; its late
+            # result is simply ignored (the slot frees when it finishes).
+            self.stats.n_timeouts += 1
+            self._resolve(
+                j,
+                RunOutcome(
+                    spec=self.specs[j],
+                    point=None,
+                    error=(
+                        f"timed out after {elapsed:.1f}s "
+                        f"(per-spec timeout {self.timeout:g}s)"
+                    ),
+                    wall_time=elapsed,
+                ),
+            )
+
+    def _resolve(self, j: int, outcome: RunOutcome) -> None:
+        if outcome.ok or self.retries_used[j] >= self.max_retries:
+            self.finish(j, outcome)
+            return
+        self.retries_used[j] += 1
+        self.stats.n_retries += 1
+        delay = _backoff_delay(
+            self.retry_backoff, self.retries_used[j], self.backoff_rng
+        )
+        self.not_before[j] = time.monotonic() + delay
+        self.todo.append(j)
+
+    def _recover_broken_pool(self, j: int, exc: BaseException) -> None:
+        """A worker died: rebuild the pool, resubmit only unfinished specs."""
+        self.stats.n_pool_rebuilds += 1
+        unfinished = sorted({j, *self.pending.values()})
+        self.pending.clear()
+        self.started.clear()
+        for k in unfinished:
+            self.crashes[k] += 1
+        self.todo.extendleft(reversed(unfinished))
+        logger.warning(
+            "process pool broke (%s); rebuilding and resubmitting %d "
+            "unfinished specs (completed outcomes are preserved)",
+            exc,
+            len(unfinished),
+        )
+        try:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # the dead pool's shutdown must never mask recovery
+            pass
+        self.pool = self._new_pool()
+        if self.pool is None:
+            self._drain_in_process()
 
 
 def sweep_to_load_sweep(

@@ -27,6 +27,7 @@ from repro.sim.analysis import (
 )
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.failure import ExecutionOutcome, FailureModel
+from repro.sim.faults import FaultConfig, FaultStats, NodeFaultInjector, fault_rng
 from repro.sim.multi import (
     MachineClass,
     MultiCluster,
@@ -58,6 +59,8 @@ __all__ = [
     "EventQueue",
     "ExecutionOutcome",
     "FailureModel",
+    "FaultConfig",
+    "FaultStats",
     "Fcfs",
     "JobSummary",
     "MachineClass",
@@ -65,6 +68,7 @@ __all__ = [
     "MultiJob",
     "MultiSimResult",
     "MultiSimulation",
+    "NodeFaultInjector",
     "Policy",
     "QueueStats",
     "SaturationPoint",
@@ -74,6 +78,7 @@ __all__ = [
     "bounded_slowdown",
     "capacity_decomposition",
     "estimation_unlock_report",
+    "fault_rng",
     "mean_slowdown",
     "mean_wait_time",
     "queue_stats",

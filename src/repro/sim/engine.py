@@ -23,14 +23,16 @@ the result.  With the paper's workloads this never triggers.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import Allocation, Cluster
 from repro.core.base import Estimator, Feedback
 from repro.core.baselines import NoEstimation
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.failure import ExecutionOutcome, FailureModel
+from repro.sim.faults import FaultConfig, NodeFaultInjector, fault_rng
 from repro.sim.policies import Fcfs, Policy, QueuedJob, RunningJob
 from repro.sim.records import AttemptRecord, JobSummary, SimResult
 from repro.util.rng import RngStream
@@ -71,6 +73,7 @@ class Simulation:
         estimator: Optional[Estimator] = None,
         policy: Optional[Policy] = None,
         failure_model: Optional[FailureModel] = None,
+        fault_injector: Optional[NodeFaultInjector] = None,
         seed: RngStream = 0,
         collect_attempts: bool = True,
         record_timeline: bool = False,
@@ -85,6 +88,13 @@ class Simulation:
         failure_model:
             Defaults to the paper's uniform-failure-time model with no
             spurious failures, seeded from ``seed``.
+        fault_injector:
+            Optional :class:`~repro.sim.faults.NodeFaultInjector`: nodes
+            fail (MTBF, optionally in bursts) and are repaired (MTTR);
+            executions on a failed node are killed and resubmitted, and the
+            kill reaches the estimator as an ordinary failure — a §2.1
+            false positive.  ``None`` (or a disabled injector) leaves the
+            simulation bit-for-bit identical to the fault-free engine.
         collect_attempts:
             Keep the per-attempt trace (needed by trajectory analyses);
             summaries and counters are always kept.
@@ -103,6 +113,10 @@ class Simulation:
         self.estimator = estimator if estimator is not None else NoEstimation()
         self.policy = policy if policy is not None else Fcfs()
         self.failure_model = failure_model or FailureModel(rng=seed)
+        self.fault_injector = (
+            fault_injector if fault_injector is not None and fault_injector.enabled
+            else None
+        )
         self.collect_attempts = collect_attempts
         self.record_timeline = record_timeline
         self.late_binding = late_binding
@@ -111,7 +125,11 @@ class Simulation:
         self._events = EventQueue()
         self._queue: List[QueuedJob] = []
         self._running: Dict[int, _Execution] = {}
+        #: Completion events of executions killed by a node fault: the heap
+        #: entry cannot be removed, so the stale exec_id is skipped on pop.
+        self._cancelled: Set[int] = set()
         self._next_exec_id = 0
+        self._arrivals_pending = 0
         self._progress: Dict[int, _JobProgress] = {}
         self._attempts: List[AttemptRecord] = []
         self._rejected: List[Job] = []
@@ -120,6 +138,7 @@ class Simulation:
             "attempts": 0,
             "resource_failures": 0,
             "spurious_failures": 0,
+            "fault_kills": 0,
             "reduced_submissions": 0,
         }
         self._useful_node_seconds = 0.0
@@ -137,15 +156,33 @@ class Simulation:
         self.cluster.reset()
         self.estimator.bind(self.cluster.ladder)
 
+        first_submit = math.inf
         for job in self.workload:
             self._events.push(job.submit_time, EventKind.ARRIVAL, job)
+            self._arrivals_pending += 1
+            first_submit = min(first_submit, job.submit_time)
+
+        if self.fault_injector is not None and self._arrivals_pending:
+            # The failure process starts with the trace; the first failure
+            # lands one inter-failure time after the first arrival.
+            self._schedule_next_failure(first_submit)
 
         while self._events:
             now, kind, payload = self._events.pop()
             if kind is EventKind.ARRIVAL:
+                self._arrivals_pending -= 1
                 self._on_arrival(now, payload)
-            else:
+            elif kind is EventKind.COMPLETION:
+                if payload in self._cancelled:
+                    # The execution was killed by a node fault before its
+                    # scheduled end; nothing to do.
+                    self._cancelled.discard(payload)
+                    continue
                 self._on_completion(now, payload)
+            elif kind is EventKind.NODE_FAILURE:
+                self._on_node_failure(now)
+            else:
+                self._on_node_repair(now, payload)
             self._schedule_pass(now)
             if self.record_timeline:
                 self._timeline.append(
@@ -243,6 +280,112 @@ class Simulation:
             self._wasted_node_seconds += record.node_seconds
             # §3.1: "Once it fails, the job returns to the head of the queue."
             self._enqueue(now, job, attempt=entry.attempt + 1, at_head=True)
+
+    # --------------------------------------------------------------- faults
+    def _schedule_next_failure(self, now: float) -> None:
+        delay = self.fault_injector.next_failure_delay(self.cluster.total_nodes)
+        if math.isfinite(delay):
+            self._events.push(now + delay, EventKind.NODE_FAILURE, None)
+
+    def _on_node_failure(self, now: float) -> None:
+        injector = self.fault_injector
+        injector.stats.n_failure_events += 1
+        for _ in range(injector.n_victims()):
+            level = injector.choose_level(self.cluster.in_service_by_level())
+            if level is None:
+                break  # every node is already down; the failure is a no-op
+            free = self.cluster.free_at_level(level)
+            in_service = self.cluster.total_at_level(level) - self.cluster.down_at_level(level)
+            busy = in_service - free
+            # The victim is uniform over in-service nodes at the level: busy
+            # with probability busy/(busy+free).
+            if busy > 0 and (free == 0 or injector.rng.random() < busy / in_service):
+                self._kill_execution_at_level(now, level)
+            self.cluster.fail_node(level)
+            repair = injector.repair_delay()
+            injector.stats.n_nodes_failed += 1
+            injector.stats.node_downtime_seconds += repair
+            self._events.push(now + repair, EventKind.NODE_REPAIR, level)
+        # Keep the failure process alive only while work remains; trailing
+        # repair events drain on their own.
+        if self._arrivals_pending or self._running or self._queue:
+            self._schedule_next_failure(now)
+
+    def _on_node_repair(self, now: float, level: float) -> None:
+        self.cluster.repair_node(level)
+
+    def _kill_execution_at_level(self, now: float, level: float) -> None:
+        """Kill one running execution holding a node at ``level``.
+
+        The victim execution is chosen with probability proportional to how
+        many of the level's nodes it holds (a uniformly random busy node at
+        the level belongs to it with exactly that probability).  The kill is
+        an ordinary failed attempt from every consumer's point of view —
+        except that it is *not* resource-related: the estimator's feedback
+        cannot tell it apart from a genuine under-allocation unless explicit
+        feedback (granted vs used) is available.
+        """
+        candidates = [
+            (exec_id, execution)
+            for exec_id, execution in self._running.items()
+            if execution.allocation.counts.get(level, 0) > 0
+        ]
+        assert candidates, "busy count at level > 0 but no execution holds it"
+        injector = self.fault_injector
+        if len(candidates) == 1:
+            exec_id, execution = candidates[0]
+        else:
+            weights = [e.allocation.counts[level] for _, e in candidates]
+            total = float(sum(weights))
+            idx = int(
+                injector.rng.choice(
+                    len(candidates), p=[w / total for w in weights]
+                )
+            )
+            exec_id, execution = candidates[idx]
+
+        del self._running[exec_id]
+        self._cancelled.add(exec_id)
+        self.cluster.release(execution.allocation)
+        entry = execution.entry
+        job = entry.job
+        progress = self._progress[job.job_id]
+
+        granted = execution.allocation.min_capacity
+        record = AttemptRecord(
+            job_id=job.job_id,
+            attempt=entry.attempt,
+            submit_time=entry.enqueue_time,
+            start_time=execution.start_time,
+            end_time=now,
+            procs=job.procs,
+            requirement=entry.requirement,
+            granted=granted,
+            succeeded=False,
+            resource_failure=False,
+            reduced=entry.requirement < job.req_mem,
+            allocation=tuple(sorted(execution.allocation.counts.items())),
+        )
+        if self.collect_attempts:
+            self._attempts.append(record)
+        self._t_last_end = max(self._t_last_end, now)
+
+        self.estimator.observe(
+            Feedback(
+                job=job,
+                succeeded=False,
+                requirement=entry.requirement,
+                granted=granted,
+                used=job.used_mem,
+                attempt=entry.attempt,
+            )
+        )
+        self._counter["fault_kills"] += 1
+        injector.stats.n_jobs_killed += 1
+        progress.wasted_node_seconds += record.node_seconds
+        self._wasted_node_seconds += record.node_seconds
+        # Like any failure, the job returns to the head of the queue (§3.1).
+        self._enqueue(now, job, attempt=entry.attempt + 1, at_head=True)
 
     # ----------------------------------------------------------- scheduling
     def _schedule_pass(self, now: float) -> None:
@@ -356,6 +499,17 @@ class Simulation:
             n_attempts=self._counter["attempts"],
             n_resource_failures=self._counter["resource_failures"],
             n_spurious_failures=self._counter["spurious_failures"],
+            n_fault_kills=self._counter["fault_kills"],
+            n_node_failures=(
+                self.fault_injector.stats.n_nodes_failed
+                if self.fault_injector is not None
+                else 0
+            ),
+            node_downtime_seconds=(
+                self.fault_injector.stats.node_downtime_seconds
+                if self.fault_injector is not None
+                else 0.0
+            ),
             n_reduced_submissions=self._counter["reduced_submissions"],
             useful_node_seconds=self._useful_node_seconds,
             wasted_node_seconds=self._wasted_node_seconds,
@@ -370,18 +524,27 @@ def simulate(
     policy: Optional[Policy] = None,
     seed: RngStream = 0,
     spurious_failure_prob: float = 0.0,
+    fault_config: Optional[FaultConfig] = None,
     collect_attempts: bool = True,
 ) -> SimResult:
     """Run one simulation with the paper's defaults (FCFS, no estimation).
 
     Convenience wrapper over :class:`Simulation`; see its docstring.
+    ``fault_config`` switches on node-level fault injection
+    (:mod:`repro.sim.faults`); its RNG stream derives from ``seed`` but is
+    independent of the failure model's, so enabling faults never reshuffles
+    the baseline's randomness.
     """
+    injector = None
+    if fault_config is not None and fault_config.enabled:
+        injector = NodeFaultInjector(fault_config, rng=fault_rng(seed))
     return Simulation(
         workload=workload,
         cluster=cluster,
         estimator=estimator,
         policy=policy,
         failure_model=FailureModel(rng=seed, spurious_failure_prob=spurious_failure_prob),
+        fault_injector=injector,
         seed=seed,
         collect_attempts=collect_attempts,
     ).run()

@@ -1,9 +1,10 @@
 """Event queue for the discrete-event engine.
 
 A thin, typed wrapper over :mod:`heapq`.  Ordering: by time, then by event
-kind (completions before arrivals at the same instant, so freed nodes are
-visible to a job arriving at exactly that moment), then by insertion
-sequence for determinism.
+kind (completions first at the same instant, so freed nodes are visible to a
+job arriving at exactly that moment; node repairs next, so restored capacity
+is likewise visible; node failures last, so a job completing at exactly the
+failure instant completes), then by insertion sequence for determinism.
 """
 
 from __future__ import annotations
@@ -18,7 +19,9 @@ class EventKind(IntEnum):
     """Event types, ordered by same-time priority (lower fires first)."""
 
     COMPLETION = 0
-    ARRIVAL = 1
+    NODE_REPAIR = 1
+    ARRIVAL = 2
+    NODE_FAILURE = 3
 
 
 class EventQueue:

@@ -110,6 +110,12 @@ class SimResult:
     n_attempts: int = 0
     n_resource_failures: int = 0
     n_spurious_failures: int = 0
+    #: Executions killed mid-run by an injected node fault — failures that
+    #: are *not* resource-related (§2.1's false-positive channel).
+    n_fault_kills: int = 0
+    #: Nodes taken out of service by fault injection over the run.
+    n_node_failures: int = 0
+    node_downtime_seconds: float = 0.0
     n_reduced_submissions: int = 0
     useful_node_seconds: float = 0.0
     wasted_node_seconds: float = 0.0
@@ -168,4 +174,11 @@ class SimResult:
             f"failed exec: {self.frac_failed_executions:.3%} of executions",
             f"makespan   : {self.makespan:.0f}s",
         ]
+        if self.n_node_failures:
+            lines.insert(
+                6,
+                f"node faults: {self.n_node_failures} "
+                f"({self.n_fault_kills} jobs killed, "
+                f"{self.node_downtime_seconds:.0f} node-seconds down)",
+            )
         return "\n".join(lines)

@@ -33,6 +33,7 @@ requested memory, used memory, user and application identity.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
@@ -118,6 +119,12 @@ def read_swf_text(
         try:
             fields = [float(p) for p in parts[:SWF_FIELDS]]
         except ValueError:
+            report.skipped_malformed += 1
+            continue
+        if not all(math.isfinite(f) for f in fields):
+            # "nan"/"inf" parse as floats but are never legitimate SWF
+            # values, and NaN slips through every <=/>= validity guard
+            # below (all comparisons are False), so reject them here.
             report.skipped_malformed += 1
             continue
 

@@ -196,3 +196,61 @@ class TestInvariants:
         if alloc is not None:
             assert alloc.min_capacity >= cap
             assert alloc.n_nodes == n
+
+
+class TestFaultAccounting:
+    def test_fail_and_repair_roundtrip(self):
+        c = Cluster(paper_tiers())
+        c.fail_node(24.0)
+        assert c.down_nodes == 1
+        assert c.down_at_level(24.0) == 1
+        assert c.free_at_level(24.0) == 511
+        assert c.in_service_nodes == 1023
+        assert c.in_service_by_level() == {24.0: 511, 32.0: 512}
+        c.repair_node(24.0)
+        assert c.down_nodes == 0
+        assert c.free_nodes == 1024
+
+    def test_fail_requires_a_free_node(self):
+        c = Cluster([(2, 32.0)])
+        c.allocate(2, 32.0)
+        with pytest.raises(ValueError, match="free node"):
+            c.fail_node(32.0)
+
+    def test_repair_requires_a_downed_node(self):
+        c = Cluster(paper_tiers())
+        with pytest.raises(ValueError, match="repair"):
+            c.repair_node(32.0)
+
+    def test_down_nodes_not_allocatable_but_still_count_for_fits(self):
+        c = Cluster([(4, 32.0)])
+        c.fail_node(32.0)
+        # A transient outage makes the job wait (cannot allocate now)...
+        assert not c.can_allocate(4, 32.0)
+        # ...but never makes it infeasible (the node will come back).
+        assert c.fits(4, 32.0)
+
+    def test_busy_count_excludes_down_nodes(self):
+        c = Cluster([(4, 32.0)])
+        c.allocate(2, 32.0)
+        c.fail_node(32.0)
+        assert c.busy_nodes == 2
+        assert c.free_nodes == 1
+        assert c.down_nodes == 1
+
+    def test_release_invariant_accounts_for_down_nodes(self):
+        c = Cluster([(4, 32.0)])
+        alloc = c.allocate(2, 32.0)
+        c.fail_node(32.0)
+        c.release(alloc)
+        # free (3) + down (1) = total: a second release must trip the
+        # free <= total - down invariant.
+        with pytest.raises(ValueError, match="exceed"):
+            c.release(alloc)
+
+    def test_reset_restores_downed_nodes(self):
+        c = Cluster(paper_tiers())
+        c.fail_node(32.0)
+        c.reset()
+        assert c.down_nodes == 0
+        assert c.free_nodes == 1024

@@ -347,3 +347,74 @@ class TestProperties:
         history = drive(est, job, ladder, 16)
         final_granted = ladder.round_up(history[-1][0])
         assert final_granted == stable_level(32.0, job.used_mem, ladder, 2.0)
+
+
+class TestFaultFalsePositives:
+    """Injected resource-unrelated failures (node-fault kills): the group
+    backs off, and with beta > 0 the alpha/beta mechanism re-converges."""
+
+    LADDER = CapacityLadder([1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+
+    def descend(self, est, job, n):
+        """n submit/success cycles (used <= every granted level)."""
+        return drive(est, job, self.LADDER, n)
+
+    def kill(self, est, job):
+        """One fault kill: failure with granted >= used (not our fault)."""
+        requirement = est.estimate(job)
+        granted = self.LADDER.round_up(requirement)
+        assert granted >= job.used_mem, "test setup: the kill must be spurious"
+        est.observe(
+            Feedback(
+                job=job,
+                succeeded=False,
+                requirement=requirement,
+                granted=granted,
+                used=job.used_mem,
+            )
+        )
+
+    def test_beta_zero_kill_freezes_the_group(self):
+        est = SuccessiveApproximation(alpha=3.0, beta=0.0)
+        est.bind(self.LADDER)
+        a = make_job(job_id=1, req_mem=32.0, used_mem=3.0)
+        self.descend(est, a, 2)  # 32 ok, 16 ok -> safe 16, estimate 5.33
+        self.kill(est, a)  # would have submitted at 8
+        state = est.group_state_for(a)
+        assert state.alpha == 1.0  # frozen: no further descent, ever
+        b = make_job(job_id=2, req_mem=32.0, used_mem=3.0)
+        history = self.descend(est, b, 4)
+        assert [h[0] for h in history] == [16.0, 16.0, 16.0, 16.0]
+
+    def test_beta_decay_backs_off_then_reconverges(self):
+        est = SuccessiveApproximation(alpha=3.0, beta=0.75)
+        est.bind(self.LADDER)
+        a = make_job(job_id=1, req_mem=32.0, used_mem=3.0)
+        self.descend(est, a, 2)  # safe 16, estimate 16/3
+        self.kill(est, a)
+        state = est.group_state_for(a)
+        # Backed off: restored toward the safe value, alpha decayed not dead.
+        assert state.alpha == pytest.approx(2.25)
+        assert state.estimate == pytest.approx(16.0 / 2.25)
+        # A sibling resumes the descent and the group still reaches the
+        # smallest sufficient level (4 for a 3 MB job).
+        b = make_job(job_id=2, req_mem=32.0, used_mem=3.0)
+        history = self.descend(est, b, 6)
+        assert history[0][0] == 8.0  # the kill cost one rung, not the climb
+        assert history[-1][0] == 4.0
+        assert history[-1][1]
+
+    def test_explicit_guard_ignores_the_kill_entirely(self):
+        est = SuccessiveApproximation(alpha=3.0, beta=0.0, explicit_guard=True)
+        est.bind(self.LADDER)
+        a = make_job(job_id=1, req_mem=32.0, used_mem=3.0)
+        self.descend(est, a, 2)
+        state_before = (est.group_state_for(a).estimate, est.group_state_for(a).alpha)
+        self.kill(est, a)
+        state = est.group_state_for(a)
+        assert (state.estimate, state.alpha) == state_before
+        # The same job keeps descending: the guard also skips the per-job
+        # failed-level floor for not-our-fault failures.
+        history = self.descend(est, a, 4)
+        assert history[0][0] == 8.0
+        assert history[-1][0] == 4.0

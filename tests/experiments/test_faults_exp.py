@@ -1,0 +1,114 @@
+"""Fault-injection experiment at reduced scale."""
+
+import math
+
+import pytest
+
+from repro.experiments import faults
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return faults.run(
+        ExperimentConfig(n_jobs=2_000),
+        mtbfs=(math.inf, 2e7),
+        node_mttr=2000.0,
+        load=0.8,
+    )
+
+
+class TestFaultExperiment:
+    def test_all_variants_present(self, result):
+        assert set(result.variants) == {
+            "implicit",
+            "implicit-decay",
+            "explicit-guard",
+            "no-estimation",
+        }
+
+    def test_points_cover_grid(self, result):
+        assert len(result.points) == 8  # 2 MTBFs x 4 variants
+
+    def test_clean_runs_are_fault_free_and_identical_across_estimation(self, result):
+        clean = [p for p in result.points if math.isinf(p.node_mtbf)]
+        assert all(p.n_node_failures == 0 and p.n_fault_kills == 0 for p in clean)
+        assert all(p.fault_rate == 0.0 for p in clean)
+
+    def test_faulty_runs_record_failures(self, result):
+        faulty = [p for p in result.points if math.isfinite(p.node_mtbf)]
+        assert all(p.n_node_failures > 0 for p in faulty)
+        assert any(p.n_fault_kills > 0 for p in faulty)
+
+    def test_estimation_still_beats_baseline_under_faults(self, result):
+        def util(variant, finite):
+            return next(
+                p.utilization
+                for p in result.points
+                if p.variant == variant and math.isfinite(p.node_mtbf) == finite
+            )
+
+        assert util("implicit", True) > util("no-estimation", True) * 1.15
+
+    def test_guard_is_most_robust(self, result):
+        # The §2.1 claim: explicit feedback shrugs off fault kills that
+        # degrade the implicit variant.
+        assert result.degradation("explicit-guard") <= result.degradation("implicit")
+        assert result.reduction_lost("explicit-guard") <= result.reduction_lost(
+            "implicit"
+        ) + 0.01
+
+    def test_formatting(self, result):
+        table = result.format_table()
+        assert "Fault-injection" in table
+        assert "clean" in table
+        assert "Utilization" in result.format_chart()
+
+
+class TestCli:
+    def test_experiment_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "faults", "--jobs", "1000"]) == 0
+        assert "Fault-injection" in capsys.readouterr().out
+
+    def test_simulate_with_fault_flags(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "simulate", "--jobs", "600", "--load", "0.7",
+                "--node-mtbf", "2e6", "--node-mttr", "1000",
+            ]
+        )
+        assert rc == 0
+        assert "node faults" in capsys.readouterr().out
+
+    def test_simulate_with_spurious_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--jobs", "600", "--spurious", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "spurious" in out
+
+    def test_experiment_resilience_flags(self, tmp_path, capsys):
+        import repro.experiments.parallel as parallel_mod
+        from repro.cli import main
+
+        manifest = tmp_path / "sweep.jsonl"
+        try:
+            rc = main(
+                [
+                    "experiment", "fig5", "--jobs", "800",
+                    "--max-retries", "1", "--run-timeout", "600",
+                    "--checkpoint", str(manifest), "--no-cache",
+                ]
+            )
+        finally:
+            # The CLI installs its flags as the module default; do not leak
+            # the tmp checkpoint into unrelated tests of this process.
+            parallel_mod.set_default_resilience(parallel_mod.ResilienceConfig())
+        assert rc == 0
+        assert manifest.exists()
+        # Resuming from the manifest: the whole grid restores without rerun.
+        assert len(parallel_mod.SweepCheckpoint(manifest)) > 0

@@ -63,3 +63,32 @@ class TestSpuriousFailures:
     def test_invalid_probability(self):
         with pytest.raises(ValueError):
             FailureModel(spurious_failure_prob=1.5)
+
+
+class TestEngineSpuriousStatistics:
+    def test_spurious_failures_counted_and_all_jobs_complete(self, sim_trace):
+        from repro.cluster import paper_cluster
+        from repro.sim import simulate
+
+        result = simulate(
+            sim_trace,
+            paper_cluster(24.0),
+            spurious_failure_prob=0.05,
+            seed=0,
+            collect_attempts=True,
+        )
+        assert result.n_spurious_failures > 0
+        assert result.n_completed == result.n_jobs
+        # Spurious crashes are per-attempt Bernoulli(0.05): the observed rate
+        # over all attempts should be close (no estimation, so no resource
+        # failures compete for the samples).
+        assert result.n_resource_failures == 0
+        rate = result.n_spurious_failures / result.n_attempts
+        assert rate == pytest.approx(0.05, abs=0.015)
+        # Every spurious record is a non-resource failure with granted >= used.
+        spurious = [
+            a for a in result.attempts if not a.succeeded and not a.resource_failure
+        ]
+        assert len(spurious) == result.n_spurious_failures
+        assert all(a.granted >= 0 and not a.resource_failure for a in spurious)
+        assert result.wasted_node_seconds > 0

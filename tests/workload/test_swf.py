@@ -71,6 +71,22 @@ class TestReader:
         _, report = read_swf_text(SAMPLE)
         assert "2 jobs kept" in report.summary()
 
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "NaN", "Infinity"])
+    def test_non_finite_fields_rejected_as_malformed(self, bad):
+        # Regression: "nan"/"inf" parse via float() and a NaN runtime slips
+        # past every `run <= 0` guard (all NaN comparisons are False),
+        # producing a Job with non-finite fields deep in the simulator.
+        text = f"1 0 5 {bad} 32 -1 8192 32 200 32768 1 3 1 7 -1 -1 -1 -1\n"
+        w, report = read_swf_text(text)
+        assert len(w) == 0
+        assert report.skipped_malformed == 1
+
+    def test_non_finite_memory_rejected_as_malformed(self):
+        text = "1 0 5 100 32 -1 inf 32 200 32768 1 3 1 7 -1 -1 -1 -1\n"
+        w, report = read_swf_text(text)
+        assert len(w) == 0
+        assert report.skipped_malformed == 1
+
 
 class TestWriter:
     def test_writes_header(self):
