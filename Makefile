@@ -4,7 +4,7 @@ PYTHON ?= python
 # Pool size for the parallel sweep benchmarks (sweep-bench target).
 REPRO_BENCH_WORKERS ?= 4
 
-.PHONY: install test bench bench-full sweep-bench faults-bench examples artifacts clean
+.PHONY: install test bench bench-full sweep-bench faults-bench obs-bench examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -34,6 +34,11 @@ sweep-bench:
 faults-bench:
 	$(PYTHON) -m pytest benchmarks/test_faults.py --benchmark-only
 	$(PYTHON) -m pytest tests/experiments/test_resilience.py tests/sim/test_faults.py -q
+
+# Observer-overhead gate: fails if the null observer costs >5% over a bare
+# run (REPRO_OBS_TOLERANCE to adjust); also times the JSONL trace writer.
+obs-bench:
+	$(PYTHON) -m pytest benchmarks/test_obs_overhead.py -q -s
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done

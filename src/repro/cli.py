@@ -11,6 +11,14 @@ Subcommands
     or a synthetic trace.
 ``simulate``
     One simulation run: workload x cluster x estimator x policy -> report.
+    ``--trace-out`` streams a JSONL event trace; ``--prometheus`` exports
+    the run summary in the Prometheus text exposition format.
+``stats``
+    One instrumented run: counters, queue dynamics, and per-group
+    estimator telemetry from the observability layer.
+``trace``
+    Summarize a JSONL event trace written by ``simulate --trace-out``
+    (event counts and per-similarity-group convergence trajectories).
 ``experiment``
     Regenerate a paper artifact (fig1, fig3..fig8, table1).
 ``design``
@@ -147,7 +155,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
+def _simulation_inputs(args: argparse.Namespace):
+    """Shared ``simulate``/``stats`` setup: workload, cluster, estimator,
+    fault config — all from the common CLI flags."""
     from repro.sim import FaultConfig
 
     workload = drop_full_machine_jobs(_load_workload(args))
@@ -159,6 +169,63 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         fault_config = FaultConfig(
             node_mtbf=args.node_mtbf, node_mttr=args.node_mttr
         )
+    return workload, cluster, estimator, fault_config
+
+
+def _write_prometheus(destination: str, text: str) -> None:
+    if destination == "-":
+        sys.stdout.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote Prometheus export to {destination}", file=sys.stderr)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.obs import JsonlTraceObserver, prometheus_text
+
+    workload, cluster, estimator, fault_config = _simulation_inputs(args)
+    observer = None
+    if args.trace_out:
+        observer = JsonlTraceObserver(args.trace_out)
+    try:
+        result = simulate(
+            workload,
+            cluster,
+            estimator=estimator,
+            policy=POLICIES[args.policy](),
+            seed=args.seed,
+            spurious_failure_prob=args.spurious,
+            fault_config=fault_config,
+            observer=observer,
+        )
+    finally:
+        if observer is not None:
+            observer.close()
+    print(result.summary_table())
+    print(f"utilization: {utilization(result):.3f}")
+    print(f"mean slowdown: {mean_slowdown(result):.1f}")
+    if args.trace_out:
+        print(f"wrote JSONL trace to {args.trace_out}", file=sys.stderr)
+    if args.prometheus:
+        _write_prometheus(args.prometheus, prometheus_text(result))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        CompositeObserver,
+        CounterObserver,
+        EstimatorTelemetryObserver,
+        TimelineSampler,
+        prometheus_text,
+    )
+    from repro.sim.analysis import capacity_decomposition, queue_stats
+
+    workload, cluster, estimator, fault_config = _simulation_inputs(args)
+    counters = CounterObserver()
+    telemetry = EstimatorTelemetryObserver()
+    sampler = TimelineSampler()
     result = simulate(
         workload,
         cluster,
@@ -167,10 +234,71 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         spurious_failure_prob=args.spurious,
         fault_config=fault_config,
+        observer=CompositeObserver([counters, telemetry, sampler]),
     )
+    print("== run summary ==")
     print(result.summary_table())
-    print(f"utilization: {utilization(result):.3f}")
+    print(f"utilization (effective): {utilization(result):.3f}")
+    print(f"utilization (raw hw)   : {utilization(result, effective=False):.3f}")
     print(f"mean slowdown: {mean_slowdown(result):.1f}")
+    print()
+    print("== event counters ==")
+    print(counters.format_report())
+    print()
+    print("== capacity ==")
+    print(capacity_decomposition(result).format_report())
+    if sampler.samples:
+        # queue_stats reads result.timeline; graft the sampler's series on
+        # (the run itself was made with the timeline off — observer-only).
+        result.timeline = list(sampler.samples)
+        stats = queue_stats(result, total_nodes=result.total_nodes)
+        print()
+        print("== queue dynamics ==")
+        print(
+            f"mean queue {stats.mean_queue_length:.1f} "
+            f"(max {stats.max_queue_length}), "
+            f"mean busy nodes {stats.mean_busy_nodes:.1f}, "
+            f"mean down nodes {stats.mean_down_nodes:.1f}, "
+            f"blocked-with-free-nodes {stats.frac_blocked_with_free_nodes:.1%}"
+        )
+    print()
+    print("== estimator telemetry ==")
+    print(telemetry.format_report(top=args.groups))
+    if args.prometheus:
+        _write_prometheus(
+            args.prometheus, prometheus_text(result, counters=counters.snapshot())
+        )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import group_trajectories, read_trace, trace_counts
+
+    try:
+        events = list(read_trace(args.file))
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"no trace events in {args.file}", file=sys.stderr)
+        return 1
+    counts = trace_counts(events)
+    print(f"{len(events)} events in {args.file}")
+    for kind in sorted(counts):
+        print(f"  {counts[kind]:>8d}  {kind}")
+    trajectories = group_trajectories(events)
+    if trajectories:
+        print()
+        print(f"per-group requirement trajectories (top {args.groups} "
+              f"of {len(trajectories)} groups by submissions):")
+        ranked = sorted(
+            trajectories.items(), key=lambda kv: len(kv[1]), reverse=True
+        )
+        for key, values in ranked[: args.groups]:
+            shown = ", ".join(f"{v:g}" for v in values[:12])
+            if len(values) > 12:
+                shown += ", ..."
+            print(f"  {key}: {shown}  ({len(values)} submissions)")
     return 0
 
 
@@ -262,34 +390,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", help="SWF file (default: synthetic)")
     p.set_defaults(fn=cmd_analyze)
 
+    def _add_run_flags(p: argparse.ArgumentParser) -> None:
+        _add_common(p)
+        p.add_argument("--trace", help="SWF file (default: synthetic)")
+        p.add_argument("--load", type=float, default=0.8, help="offered load")
+        p.add_argument(
+            "--tier2", type=float, default=24.0, help="second-tier memory MB"
+        )
+        p.add_argument(
+            "--estimator", choices=sorted(ESTIMATORS), default="successive"
+        )
+        p.add_argument("--policy", choices=sorted(POLICIES), default="fcfs")
+        p.add_argument(
+            "--spurious",
+            type=float,
+            default=0.0,
+            help="per-attempt spurious-failure probability (§2.1 false positives)",
+        )
+        p.add_argument(
+            "--node-mtbf",
+            type=float,
+            default=0.0,
+            help="per-node mean time between failures, seconds (0 = no faults)",
+        )
+        p.add_argument(
+            "--node-mttr",
+            type=float,
+            default=3600.0,
+            help="mean node repair time, seconds (with --node-mtbf)",
+        )
+        p.add_argument(
+            "--prometheus",
+            metavar="PATH",
+            help="write the run summary in Prometheus text format ('-' = stdout)",
+        )
+
     p = sub.add_parser("simulate", help="one simulation run")
-    _add_common(p)
-    p.add_argument("--trace", help="SWF file (default: synthetic)")
-    p.add_argument("--load", type=float, default=0.8, help="offered load")
-    p.add_argument("--tier2", type=float, default=24.0, help="second-tier memory MB")
+    _add_run_flags(p)
     p.add_argument(
-        "--estimator", choices=sorted(ESTIMATORS), default="successive"
-    )
-    p.add_argument("--policy", choices=sorted(POLICIES), default="fcfs")
-    p.add_argument(
-        "--spurious",
-        type=float,
-        default=0.0,
-        help="per-attempt spurious-failure probability (§2.1 false positives)",
-    )
-    p.add_argument(
-        "--node-mtbf",
-        type=float,
-        default=0.0,
-        help="per-node mean time between failures, seconds (0 = no faults)",
-    )
-    p.add_argument(
-        "--node-mttr",
-        type=float,
-        default=3600.0,
-        help="mean node repair time, seconds (with --node-mtbf)",
+        "--trace-out",
+        metavar="PATH",
+        help="stream a JSONL event trace of the run to PATH",
     )
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "stats", help="one instrumented run: counters, queue dynamics, telemetry"
+    )
+    _add_run_flags(p)
+    p.add_argument(
+        "--groups",
+        type=int,
+        default=10,
+        help="similarity groups to show in the telemetry report",
+    )
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "trace", help="summarize a JSONL event trace (simulate --trace-out)"
+    )
+    p.add_argument("file", help="JSONL trace path")
+    p.add_argument(
+        "--groups",
+        type=int,
+        default=10,
+        help="similarity groups to show in the trajectory report",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     _add_common(p)

@@ -116,6 +116,19 @@ class Estimator(abc.ABC):
         """
         return False
 
+    def telemetry(self) -> dict:
+        """Snapshot of internal state for observability tooling.
+
+        The contract is loose by design: the returned dict always carries
+        ``"name"``; estimators that learn per-similarity-group state should
+        add ``"groups"`` — a mapping from a stable group label to a dict with
+        at least an ``"estimate"`` key (``"alpha"`` too where meaningful) —
+        which :class:`repro.obs.telemetry.EstimatorTelemetryObserver` samples
+        into per-group trajectories.  The snapshot must be cheap and must not
+        expose mutable internals.
+        """
+        return {"name": self.name}
+
 
 def clamp_to_request(value: float, job: Job) -> float:
     """Never request more than the user did (the paper assumes the request

@@ -281,6 +281,30 @@ class SuccessiveApproximation(Estimator):
         """
         return list(self._trajectories.get(key, []))
 
+    def telemetry(self) -> dict:
+        """Per-group (E_i, alpha_i) snapshot for the observability layer.
+
+        Group labels are ``str(key)`` of the similarity key — stable across
+        calls within a run, which is all the trajectory sampler needs.
+        """
+        return {
+            "name": self.name,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "n_groups": len(self._groups),
+            "groups": {
+                str(key): {
+                    "estimate": state.estimate,
+                    "alpha": state.alpha,
+                    "safe_value": state.safe_value,
+                    "successes": state.successes,
+                    "failures": state.failures,
+                    "safe_failures": state.safe_failures,
+                }
+                for key, state in self._groups.items()
+            },
+        }
+
     def memory_footprint(self) -> int:
         """Number of scalar values retained across the estimator's state.
 

@@ -62,9 +62,9 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.cache import SweepCache
 from repro.experiments.runner import LoadSweep, SweepPoint, run_point
@@ -93,6 +93,9 @@ class RunOutcome:
     error: Optional[str] = None
     wall_time: float = 0.0
     cached: bool = False
+    #: Times this spec was re-executed after a failure or timeout before the
+    #: recorded result landed (0 for first-try successes and cache hits).
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -250,6 +253,54 @@ class SweepCheckpoint:
         return len(self.load())
 
 
+@dataclass(frozen=True)
+class SweepProfile:
+    """Aggregated per-spec profiling of one sweep.
+
+    Built by :meth:`SweepReport.profile` from the wall-clock, retry, and
+    cache fields each :class:`RunOutcome` envelope carries.  ``wall_time``
+    figures cover *executed* runs only (cache/checkpoint hits cost ~0 and
+    would drown the mean); ``slowest`` lists the heaviest executed specs as
+    ``(label, seconds)`` pairs — the ones to cache, shard, or shrink first.
+    """
+
+    n_runs: int
+    n_executed: int
+    n_cache_hits: int
+    n_errors: int
+    total_wall_time: float  # summed across executed runs (CPU-ish seconds)
+    mean_wall_time: float
+    max_wall_time: float
+    total_retries: int
+    n_timeouts: int
+    n_pool_rebuilds: int
+    n_resumed: int
+    slowest: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.n_cache_hits / self.n_runs if self.n_runs else 0.0
+
+    def format_report(self) -> str:
+        lines = [
+            f"runs        : {self.n_runs} ({self.n_executed} executed, "
+            f"{self.n_cache_hits} cache hits = {self.cache_hit_rate:.0%}, "
+            f"{self.n_errors} errors)",
+            f"wall time   : {self.total_wall_time:.2f}s total across workers "
+            f"(mean {self.mean_wall_time:.2f}s, max {self.max_wall_time:.2f}s "
+            f"per executed run)",
+            f"resilience  : {self.total_retries} retries, "
+            f"{self.n_timeouts} timeouts, {self.n_pool_rebuilds} pool rebuilds, "
+            f"{self.n_resumed} resumed from checkpoint",
+        ]
+        if self.slowest:
+            lines.append("slowest runs:")
+            lines.extend(
+                f"  {seconds:>8.2f}s  {label}" for label, seconds in self.slowest
+            )
+        return "\n".join(lines)
+
+
 @dataclass
 class SweepReport:
     """Ordered outcomes of one sweep plus throughput/cache accounting."""
@@ -295,6 +346,33 @@ class SweepReport:
                 f"{len(failed)}/{len(self.outcomes)} sweep points failed:\n{detail}"
             )
         return [o.point for o in self.outcomes]
+
+    def profile(self, top: int = 5) -> SweepProfile:
+        """Fold the per-spec envelopes into a :class:`SweepProfile`.
+
+        ``top`` bounds the ``slowest`` list (executed runs only, heaviest
+        first, labelled by ``spec.label`` or the spec's canonical form).
+        """
+        executed = [o for o in self.outcomes if not o.cached]
+        walls = [o.wall_time for o in executed]
+        by_cost = sorted(executed, key=lambda o: o.wall_time, reverse=True)
+        return SweepProfile(
+            n_runs=self.n_runs,
+            n_executed=len(executed),
+            n_cache_hits=self.n_cache_hits,
+            n_errors=self.n_errors,
+            total_wall_time=float(sum(walls)),
+            mean_wall_time=float(sum(walls) / len(walls)) if walls else 0.0,
+            max_wall_time=max(walls) if walls else 0.0,
+            total_retries=sum(o.retries for o in self.outcomes),
+            n_timeouts=self.n_timeouts,
+            n_pool_rebuilds=self.n_pool_rebuilds,
+            n_resumed=self.n_resumed,
+            slowest=tuple(
+                (o.spec.label or o.spec.canonical(), o.wall_time)
+                for o in by_cost[: max(top, 0)]
+            ),
+        )
 
     def summary(self) -> str:
         text = (
@@ -423,7 +501,7 @@ def _run_with_retries(
         stats.n_retries += 1
         time.sleep(_backoff_delay(retry_backoff, attempt, rng))
         outcome = execute_spec(spec)
-    return outcome
+    return replace(outcome, retries=attempt) if attempt else outcome
 
 
 def _execute_all(
@@ -543,16 +621,18 @@ class _PoolExecution:
             self.pool = None
         while self.todo:
             j = self.todo.popleft()
-            self.finish(
-                j,
-                _run_with_retries(
-                    self.specs[j],
-                    self.max_retries - self.retries_used[j],
-                    self.retry_backoff,
-                    self.stats,
-                    self.backoff_rng,
-                ),
+            outcome = _run_with_retries(
+                self.specs[j],
+                self.max_retries - self.retries_used[j],
+                self.retry_backoff,
+                self.stats,
+                self.backoff_rng,
             )
+            if self.retries_used[j]:
+                outcome = replace(
+                    outcome, retries=outcome.retries + self.retries_used[j]
+                )
+            self.finish(j, outcome)
 
     def _submit_ready(self) -> None:
         now = time.monotonic()
@@ -571,12 +651,14 @@ class _PoolExecution:
                     self.specs[j].label or f"#{j}",
                     self.crashes[j],
                 )
-                self.finish(
-                    j,
-                    _run_with_retries(
-                        self.specs[j], 0, self.retry_backoff, self.stats
-                    ),
+                outcome = _run_with_retries(
+                    self.specs[j], 0, self.retry_backoff, self.stats
                 )
+                if self.retries_used[j]:
+                    outcome = replace(
+                        outcome, retries=outcome.retries + self.retries_used[j]
+                    )
+                self.finish(j, outcome)
                 continue
             try:
                 future = self.pool.submit(execute_spec, self.specs[j])
@@ -672,6 +754,12 @@ class _PoolExecution:
 
     def _resolve(self, j: int, outcome: RunOutcome) -> None:
         if outcome.ok or self.retries_used[j] >= self.max_retries:
+            if self.retries_used[j]:
+                # Per-spec profiling: the envelope records how many times
+                # this spec was re-executed before the result that landed.
+                outcome = replace(
+                    outcome, retries=outcome.retries + self.retries_used[j]
+                )
             self.finish(j, outcome)
             return
         self.retries_used[j] += 1

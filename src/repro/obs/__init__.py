@@ -1,0 +1,68 @@
+"""Observability for the simulator and sweep executor.
+
+The engine (:class:`repro.sim.engine.Simulation`) accepts an optional
+:class:`SimObserver`; when attached it is notified of every job transition
+(enqueued / started / completed / failed / killed), every node fault and
+repair, and every scheduling pass.  With no observer the engine's behaviour
+and output are bit-for-bit identical to the bare event loop.
+
+Built-in observers:
+
+* :class:`CounterObserver` — structured counters and high-water gauges,
+* :class:`JsonlTraceObserver` — a versioned JSONL event trace
+  (read back with :func:`read_trace`; per-group convergence via
+  :func:`group_trajectories`),
+* :class:`EstimatorTelemetryObserver` — per-similarity-group estimate
+  trajectories and backoff events, sampled from
+  :meth:`~repro.core.base.Estimator.telemetry`,
+* :class:`TimelineSampler` — the queue/utilization time series behind
+  :func:`repro.sim.analysis.queue_stats`,
+* :class:`RecordingObserver` — full hook transcript (tests, debugging),
+* :class:`CompositeObserver` — fan out to several of the above.
+
+:func:`prometheus_text` renders a finished run in the Prometheus text
+exposition format; the ``repro trace`` / ``repro stats`` CLI wraps all of
+this for the shell.
+"""
+
+from repro.obs.base import (
+    CompositeObserver,
+    NullObserver,
+    RecordingObserver,
+    RunMeta,
+    SimObserver,
+)
+from repro.obs.counters import CounterObserver
+from repro.obs.export import prometheus_text
+from repro.obs.sampler import TimelineSampler
+from repro.obs.telemetry import (
+    BackoffEvent,
+    EstimatorTelemetryObserver,
+    GroupTelemetry,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    JsonlTraceObserver,
+    group_trajectories,
+    read_trace,
+    trace_counts,
+)
+
+__all__ = [
+    "BackoffEvent",
+    "CompositeObserver",
+    "CounterObserver",
+    "EstimatorTelemetryObserver",
+    "GroupTelemetry",
+    "JsonlTraceObserver",
+    "NullObserver",
+    "RecordingObserver",
+    "RunMeta",
+    "SimObserver",
+    "TRACE_SCHEMA_VERSION",
+    "TimelineSampler",
+    "group_trajectories",
+    "prometheus_text",
+    "read_trace",
+    "trace_counts",
+]

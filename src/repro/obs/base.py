@@ -1,0 +1,234 @@
+"""The observer protocol: hook points the simulation engine fires.
+
+The paper's claims are read off run-level aggregates (Figure 5's saturation
+utilization, Figure 6's slowdown ratio, Figure 7's per-group convergence),
+but diagnosing *why* a run behaves as it does — watching an estimator
+converge, attributing wasted node-seconds to a cause, telling idle capacity
+from failed capacity — needs per-event telemetry.  :class:`SimObserver`
+defines the hook points; :class:`repro.sim.engine.Simulation` fires them
+when (and only when) an observer is attached, so the observer-less hot path
+stays bit-for-bit identical to the bare engine.
+
+Design rules
+------------
+* **Hooks are notifications, not interventions.**  Observers must not
+  mutate the job, cluster, or estimator they are handed; the engine's
+  determinism contract depends on it.
+* **Every hook has a no-op default**, so observers override only what they
+  care about and new hooks never break existing observers.
+* **The null path is free.**  With no observer attached the engine performs
+  one ``is None`` check per hook site and nothing else; ``make obs-bench``
+  enforces the <5% overhead budget.
+
+The hook vocabulary mirrors the engine's §3.1 event loop: jobs are enqueued
+(first arrival or post-failure resubmission), started, and finish as exactly
+one of completed / failed (resource-related or spurious) / killed by a node
+fault; nodes fail and are repaired; each event ends with a scheduling pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # break the import cycle: engine imports this module
+    from repro.cluster.cluster import Cluster
+    from repro.core.base import Estimator
+    from repro.sim.policies import Policy
+    from repro.sim.records import AttemptRecord, SimResult
+    from repro.workload.job import Job, Workload
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """What the engine knows about a run before the first event.
+
+    Carries *live references* (not just names) so stateful observers — e.g.
+    :class:`~repro.obs.telemetry.EstimatorTelemetryObserver` sampling
+    :meth:`~repro.core.base.Estimator.telemetry` — can attach themselves
+    without separate plumbing.  Observers must treat these as read-only.
+    """
+
+    workload: "Workload"
+    cluster: "Cluster"
+    estimator: "Estimator"
+    policy: "Policy"
+    n_jobs: int
+    total_nodes: int
+
+
+class SimObserver:
+    """Base observer: every hook is a no-op.  Subclass and override.
+
+    One observer instance watches one run; attach a fresh instance per
+    simulation (or implement :meth:`on_run_start` to reset state).
+    """
+
+    # ------------------------------------------------------------ lifecycle
+    def on_run_start(self, meta: RunMeta) -> None:
+        """Fired once, after the cluster is reset and the estimator bound."""
+
+    def on_run_end(self, result: "SimResult") -> None:
+        """Fired once, with the fully built :class:`SimResult`."""
+
+    # ------------------------------------------------------------ job hooks
+    def on_job_enqueued(
+        self, now: float, job: "Job", attempt: int, requirement: float, at_head: bool
+    ) -> None:
+        """A submission joined the queue (``attempt`` 0 = first arrival)."""
+
+    def on_job_rejected(self, now: float, job: "Job", attempt: int) -> None:
+        """No machine class can ever hold the submission; it was dropped."""
+
+    def on_job_started(
+        self,
+        now: float,
+        job: "Job",
+        attempt: int,
+        requirement: float,
+        granted: float,
+        n_nodes: int,
+    ) -> None:
+        """An execution attempt was allocated and began running."""
+
+    def on_job_completed(self, now: float, record: "AttemptRecord") -> None:
+        """An execution attempt finished successfully."""
+
+    def on_job_failed(self, now: float, record: "AttemptRecord") -> None:
+        """An execution attempt failed (``record.resource_failure`` tells
+        a genuine under-allocation from a spurious crash)."""
+
+    def on_job_killed(self, now: float, record: "AttemptRecord") -> None:
+        """An execution was killed mid-run by an injected node fault."""
+
+    # ----------------------------------------------------------- node hooks
+    def on_node_failed(self, now: float, level: float, repair_time: float) -> None:
+        """Fault injection took one node at ``level`` out of service."""
+
+    def on_node_repaired(self, now: float, level: float) -> None:
+        """A downed node at ``level`` returned to service."""
+
+    # ------------------------------------------------------------ scheduler
+    def on_scheduling_pass(
+        self,
+        now: float,
+        n_started: int,
+        queue_length: int,
+        busy_nodes: int,
+        down_nodes: int,
+    ) -> None:
+        """The post-event scheduling pass finished (`n_started` jobs began)."""
+
+
+#: The do-nothing observer.  Attaching it must leave results bit-identical
+#: to attaching no observer at all (enforced by the regression tests).
+class NullObserver(SimObserver):
+    """Observes nothing.  The engine normalises an exact ``NullObserver``
+    instance onto its observer-free fast path, so attaching one is literally
+    free (subclasses with overridden hooks are dispatched normally)."""
+
+
+class CompositeObserver(SimObserver):
+    """Fans every hook out to an ordered sequence of observers."""
+
+    def __init__(self, observers: Sequence[SimObserver]) -> None:
+        self.observers: Tuple[SimObserver, ...] = tuple(observers)
+
+    def on_run_start(self, meta):
+        for o in self.observers:
+            o.on_run_start(meta)
+
+    def on_run_end(self, result):
+        for o in self.observers:
+            o.on_run_end(result)
+
+    def on_job_enqueued(self, now, job, attempt, requirement, at_head):
+        for o in self.observers:
+            o.on_job_enqueued(now, job, attempt, requirement, at_head)
+
+    def on_job_rejected(self, now, job, attempt):
+        for o in self.observers:
+            o.on_job_rejected(now, job, attempt)
+
+    def on_job_started(self, now, job, attempt, requirement, granted, n_nodes):
+        for o in self.observers:
+            o.on_job_started(now, job, attempt, requirement, granted, n_nodes)
+
+    def on_job_completed(self, now, record):
+        for o in self.observers:
+            o.on_job_completed(now, record)
+
+    def on_job_failed(self, now, record):
+        for o in self.observers:
+            o.on_job_failed(now, record)
+
+    def on_job_killed(self, now, record):
+        for o in self.observers:
+            o.on_job_killed(now, record)
+
+    def on_node_failed(self, now, level, repair_time):
+        for o in self.observers:
+            o.on_node_failed(now, level, repair_time)
+
+    def on_node_repaired(self, now, level):
+        for o in self.observers:
+            o.on_node_repaired(now, level)
+
+    def on_scheduling_pass(self, now, n_started, queue_length, busy_nodes, down_nodes):
+        for o in self.observers:
+            o.on_scheduling_pass(now, n_started, queue_length, busy_nodes, down_nodes)
+
+
+class RecordingObserver(SimObserver):
+    """Transcribes every hook invocation — the test/debugging observer.
+
+    ``events`` holds ``(hook_name, *key_fields)`` tuples in firing order;
+    scheduling passes are recorded only when ``record_scheduling=True``
+    (they fire after *every* event and would swamp the transcript).
+    """
+
+    def __init__(self, record_scheduling: bool = False) -> None:
+        self.record_scheduling = record_scheduling
+        self.events: List[Tuple[Any, ...]] = []
+
+    def on_run_start(self, meta):
+        self.events.append(("run_start", meta.n_jobs, meta.total_nodes))
+
+    def on_run_end(self, result):
+        self.events.append(("run_end", result.n_completed))
+
+    def on_job_enqueued(self, now, job, attempt, requirement, at_head):
+        self.events.append(("enqueued", job.job_id, attempt, requirement, at_head))
+
+    def on_job_rejected(self, now, job, attempt):
+        self.events.append(("rejected", job.job_id, attempt))
+
+    def on_job_started(self, now, job, attempt, requirement, granted, n_nodes):
+        self.events.append(("started", job.job_id, attempt, requirement, granted))
+
+    def on_job_completed(self, now, record):
+        self.events.append(("completed", record.job_id, record.attempt))
+
+    def on_job_failed(self, now, record):
+        self.events.append(
+            ("failed", record.job_id, record.attempt, record.resource_failure)
+        )
+
+    def on_job_killed(self, now, record):
+        self.events.append(("killed", record.job_id, record.attempt))
+
+    def on_node_failed(self, now, level, repair_time):
+        self.events.append(("node_failed", level))
+
+    def on_node_repaired(self, now, level):
+        self.events.append(("node_repaired", level))
+
+    def on_scheduling_pass(self, now, n_started, queue_length, busy_nodes, down_nodes):
+        if self.record_scheduling:
+            self.events.append(
+                ("sched", n_started, queue_length, busy_nodes, down_nodes)
+            )
+
+    def kinds(self) -> List[str]:
+        """Just the hook names, in order."""
+        return [e[0] for e in self.events]

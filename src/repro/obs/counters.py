@@ -1,0 +1,107 @@
+"""Structured counters and gauges over one simulation run.
+
+:class:`CounterObserver` is the cheapest useful observer: integer counters
+per event kind, float accumulators for node-seconds by outcome, and
+high-water-mark gauges for queue depth and down capacity.  Its
+:meth:`~CounterObserver.snapshot` is a plain JSON-able dict — the payload
+behind ``repro stats`` and the Prometheus export of
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.obs.base import RunMeta, SimObserver
+
+Number = Union[int, float]
+
+
+class CounterObserver(SimObserver):
+    """Counts every hook firing; keeps max-depth gauges from the scheduler."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {
+            "jobs_enqueued": 0,
+            "jobs_rejected": 0,
+            "attempts_started": 0,
+            "attempts_completed": 0,
+            "attempts_failed_resource": 0,
+            "attempts_failed_spurious": 0,
+            "attempts_killed_by_fault": 0,
+            "resubmissions": 0,
+            "node_failures": 0,
+            "node_repairs": 0,
+            "scheduling_passes": 0,
+        }
+        self.gauges: Dict[str, Number] = {
+            "max_queue_length": 0,
+            "max_busy_nodes": 0,
+            "max_down_nodes": 0,
+        }
+        self.useful_node_seconds = 0.0
+        self.lost_node_seconds = 0.0  # failed + killed attempts
+
+    # ------------------------------------------------------------- hooks
+    def on_run_start(self, meta: RunMeta) -> None:
+        self._meta = meta
+
+    def on_job_enqueued(self, now, job, attempt, requirement, at_head):
+        self.counters["jobs_enqueued"] += 1
+        if attempt > 0:
+            self.counters["resubmissions"] += 1
+
+    def on_job_rejected(self, now, job, attempt):
+        self.counters["jobs_rejected"] += 1
+
+    def on_job_started(self, now, job, attempt, requirement, granted, n_nodes):
+        self.counters["attempts_started"] += 1
+
+    def on_job_completed(self, now, record):
+        self.counters["attempts_completed"] += 1
+        self.useful_node_seconds += record.node_seconds
+
+    def on_job_failed(self, now, record):
+        key = (
+            "attempts_failed_resource"
+            if record.resource_failure
+            else "attempts_failed_spurious"
+        )
+        self.counters[key] += 1
+        self.lost_node_seconds += record.node_seconds
+
+    def on_job_killed(self, now, record):
+        self.counters["attempts_killed_by_fault"] += 1
+        self.lost_node_seconds += record.node_seconds
+
+    def on_node_failed(self, now, level, repair_time):
+        self.counters["node_failures"] += 1
+
+    def on_node_repaired(self, now, level):
+        self.counters["node_repairs"] += 1
+
+    def on_scheduling_pass(self, now, n_started, queue_length, busy_nodes, down_nodes):
+        self.counters["scheduling_passes"] += 1
+        gauges = self.gauges
+        if queue_length > gauges["max_queue_length"]:
+            gauges["max_queue_length"] = queue_length
+        if busy_nodes > gauges["max_busy_nodes"]:
+            gauges["max_busy_nodes"] = busy_nodes
+        if down_nodes > gauges["max_down_nodes"]:
+            gauges["max_down_nodes"] = down_nodes
+
+    # ------------------------------------------------------------- output
+    def snapshot(self) -> Dict[str, Number]:
+        """Flat JSON-able view: counters, gauges, node-second accumulators."""
+        out: Dict[str, Number] = dict(self.counters)
+        out.update(self.gauges)
+        out["useful_node_seconds"] = self.useful_node_seconds
+        out["lost_node_seconds"] = self.lost_node_seconds
+        return out
+
+    def format_report(self) -> str:
+        width = max(len(k) for k in self.snapshot())
+        return "\n".join(
+            f"{key:<{width}} : {value:g}" if isinstance(value, float) else f"{key:<{width}} : {value}"
+            for key, value in self.snapshot().items()
+        )

@@ -1,0 +1,130 @@
+"""Prometheus-style text export of run summaries.
+
+Renders a :class:`~repro.sim.records.SimResult` (and, optionally, a
+:class:`~repro.obs.counters.CounterObserver` snapshot) in the Prometheus
+text exposition format — ``# HELP`` / ``# TYPE`` comments followed by
+``metric{labels} value`` lines — so a run summary can be dropped into any
+Prometheus-compatible scrape pipeline or diffed as plain text.
+
+Only the format is Prometheus'; there is no HTTP server here.  The export
+is a *snapshot of one finished run*: everything is emitted as a gauge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Union
+
+from repro.sim.metrics import utilization, wasted_fraction
+from repro.sim.records import SimResult
+
+_PREFIX = "repro"
+
+
+def _sanitize_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", " ")
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(
+    result: SimResult,
+    counters: Optional[Mapping[str, Union[int, float]]] = None,
+    extra_labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """One run's summary in the Prometheus text exposition format.
+
+    Every sample carries the run's identity as labels (workload, cluster,
+    estimator, policy, plus ``extra_labels``).  ``counters`` — e.g.
+    ``CounterObserver.snapshot()`` — is appended under
+    ``repro_event_total{kind=...}`` / ``repro_gauge{name=...}``.
+    """
+    labels = {
+        "workload": result.workload_name,
+        "cluster": result.cluster_name,
+        "estimator": result.estimator_name,
+        "policy": result.policy_name,
+    }
+    if extra_labels:
+        labels.update(extra_labels)
+    label_str = ",".join(
+        f'{key}="{_sanitize_label(str(value))}"' for key, value in labels.items()
+    )
+
+    metrics: List[tuple] = [
+        ("jobs_total", "Jobs in the workload", result.n_jobs),
+        ("jobs_completed_total", "Jobs that completed", result.n_completed),
+        ("jobs_rejected_total", "Jobs rejected as infeasible", len(result.rejected_jobs)),
+        ("attempts_total", "Execution attempts", result.n_attempts),
+        (
+            "resource_failures_total",
+            "Attempts failed by under-allocation",
+            result.n_resource_failures,
+        ),
+        (
+            "spurious_failures_total",
+            "Attempts failed for non-resource reasons",
+            result.n_spurious_failures,
+        ),
+        (
+            "fault_kills_total",
+            "Attempts killed by injected node faults",
+            result.n_fault_kills,
+        ),
+        ("node_failures_total", "Nodes taken down by fault injection", result.n_node_failures),
+        (
+            "node_downtime_seconds",
+            "Node-seconds out of service (clamped to the observed trace)",
+            result.node_downtime_seconds,
+        ),
+        (
+            "reduced_submissions_total",
+            "Submissions below the user's request",
+            result.n_reduced_submissions,
+        ),
+        ("useful_node_seconds", "Node-seconds of successful execution", result.useful_node_seconds),
+        ("wasted_node_seconds", "Node-seconds burnt by failed attempts", result.wasted_node_seconds),
+        ("makespan_seconds", "First submission to last completion", result.makespan),
+        (
+            "utilization_effective",
+            "Useful node-seconds over in-service capacity",
+            utilization(result),
+        ),
+        (
+            "utilization_raw",
+            "Useful node-seconds over raw hardware capacity",
+            utilization(result, effective=False),
+        ),
+        (
+            "wasted_fraction_effective",
+            "Wasted node-seconds over in-service capacity",
+            wasted_fraction(result),
+        ),
+    ]
+
+    lines: List[str] = []
+    for name, help_text, value in metrics:
+        full = f"{_PREFIX}_{name}"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full}{{{label_str}}} {_format_value(value)}")
+
+    if counters:
+        full = f"{_PREFIX}_observer_value"
+        lines.append(f"# HELP {full} Observer counter/gauge snapshot")
+        lines.append(f"# TYPE {full} gauge")
+        for key in sorted(counters):
+            sep = "," if label_str else ""
+            lines.append(
+                f'{full}{{{label_str}{sep}name="{_sanitize_label(key)}"}} '
+                f"{_format_value(counters[key])}"
+            )
+    return "\n".join(lines) + "\n"

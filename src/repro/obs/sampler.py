@@ -1,0 +1,43 @@
+"""Queue/utilization time-series sampling.
+
+:class:`TimelineSampler` is the observer-layer successor of the engine's
+``record_timeline`` flag: it collects the same
+:class:`~repro.sim.records.TimelineSample` records (now carrying
+``down_nodes``, so fault runs can tell idle capacity from failed capacity)
+off the scheduling-pass hook, with an optional stride for long runs, and
+feeds the same :func:`repro.sim.analysis.queue_stats` consumer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.base import SimObserver
+from repro.sim.records import TimelineSample
+
+
+class TimelineSampler(SimObserver):
+    """Records a :class:`TimelineSample` every ``stride``-th scheduling pass.
+
+    ``stride=1`` (default) reproduces ``record_timeline=True`` exactly —
+    one sample per simulation event.
+    """
+
+    def __init__(self, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stride = stride
+        self.samples: List[TimelineSample] = []
+        self._n_passes = 0
+
+    def on_scheduling_pass(self, now, n_started, queue_length, busy_nodes, down_nodes):
+        self._n_passes += 1
+        if (self._n_passes - 1) % self.stride == 0:
+            self.samples.append(
+                TimelineSample(
+                    time=now,
+                    queue_length=queue_length,
+                    busy_nodes=busy_nodes,
+                    down_nodes=down_nodes,
+                )
+            )

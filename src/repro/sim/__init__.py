@@ -35,12 +35,13 @@ from repro.sim.multi import (
     MultiSimResult,
     MultiSimulation,
 )
-from repro.sim.records import AttemptRecord, JobSummary, SimResult
+from repro.sim.records import AttemptRecord, JobSummary, SimResult, TimelineSample
 from repro.sim.policies import EasyBackfilling, Fcfs, Policy, ShortestJobFirst
 from repro.sim.engine import Simulation, simulate
 from repro.sim.metrics import (
     SaturationPoint,
     bounded_slowdown,
+    capacity_node_seconds,
     mean_slowdown,
     mean_wait_time,
     saturation_point,
@@ -75,8 +76,10 @@ __all__ = [
     "ShortestJobFirst",
     "SimResult",
     "Simulation",
+    "TimelineSample",
     "bounded_slowdown",
     "capacity_decomposition",
+    "capacity_node_seconds",
     "estimation_unlock_report",
     "fault_rng",
     "mean_slowdown",

@@ -90,9 +90,13 @@ class QueueStats:
     max_queue_length: int
     mean_busy_nodes: float
     #: Fraction of (event-weighted) time at least one job was waiting while
-    #: at least one node was free — the signature of requirement mismatch
-    #: (work exists, capacity exists, but they don't match).
+    #: at least one *in-service* node was free — the signature of requirement
+    #: mismatch (work exists, capacity exists, but they don't match).  Nodes
+    #: down from fault injection are not "free": a queue stalled only because
+    #: the machine is broken is unavailability, not mismatch.
     frac_blocked_with_free_nodes: float
+    #: Event-weighted mean of nodes out of service (0 on fault-free runs).
+    mean_down_nodes: float = 0.0
 
 
 def queue_stats(result: SimResult, total_nodes: Optional[int] = None) -> QueueStats:
@@ -106,9 +110,10 @@ def queue_stats(result: SimResult, total_nodes: Optional[int] = None) -> QueueSt
             "no timeline recorded; run the simulation with record_timeline=True"
         )
     nodes = total_nodes if total_nodes is not None else result.total_nodes
-    times = np.array([t for t, _, _ in result.timeline])
-    queue = np.array([q for _, q, _ in result.timeline], dtype=float)
-    busy = np.array([b for _, _, b in result.timeline], dtype=float)
+    times = np.array([s.time for s in result.timeline])
+    queue = np.array([s.queue_length for s in result.timeline], dtype=float)
+    busy = np.array([s.busy_nodes for s in result.timeline], dtype=float)
+    down = np.array([s.down_nodes for s in result.timeline], dtype=float)
     # Duration-weight each sample by the gap to the next event.
     gaps = np.diff(times, append=times[-1])
     gaps = np.maximum(gaps, 0.0)
@@ -117,12 +122,13 @@ def queue_stats(result: SimResult, total_nodes: Optional[int] = None) -> QueueSt
         # Degenerate single-instant run: fall back to unweighted means.
         gaps = np.ones_like(times)
         weight = gaps.sum()
-    blocked = (queue > 0) & (busy < nodes)
+    blocked = (queue > 0) & (busy + down < nodes)
     return QueueStats(
         mean_queue_length=float((queue * gaps).sum() / weight),
         max_queue_length=int(queue.max()),
         mean_busy_nodes=float((busy * gaps).sum() / weight),
         frac_blocked_with_free_nodes=float((blocked * gaps).sum() / weight),
+        mean_down_nodes=float((down * gaps).sum() / weight),
     )
 
 

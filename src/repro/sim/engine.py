@@ -30,11 +30,12 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.cluster.cluster import Allocation, Cluster
 from repro.core.base import Estimator, Feedback
 from repro.core.baselines import NoEstimation
+from repro.obs.base import RunMeta, SimObserver
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.failure import ExecutionOutcome, FailureModel
 from repro.sim.faults import FaultConfig, NodeFaultInjector, fault_rng
 from repro.sim.policies import Fcfs, Policy, QueuedJob, RunningJob
-from repro.sim.records import AttemptRecord, JobSummary, SimResult
+from repro.sim.records import AttemptRecord, JobSummary, SimResult, TimelineSample
 from repro.util.rng import RngStream
 from repro.workload.job import Job, Workload
 
@@ -78,6 +79,7 @@ class Simulation:
         collect_attempts: bool = True,
         record_timeline: bool = False,
         late_binding: bool = True,
+        observer: Optional[SimObserver] = None,
     ) -> None:
         """
         Parameters
@@ -99,8 +101,15 @@ class Simulation:
             Keep the per-attempt trace (needed by trajectory analyses);
             summaries and counters are always kept.
         record_timeline:
-            Sample ``(time, queue_length, busy_nodes)`` after every event —
-            feeds the queue-dynamics analyses in :mod:`repro.sim.analysis`.
+            Append a :class:`~repro.sim.records.TimelineSample` (queue
+            length, busy and down nodes) after every event — feeds the
+            queue-dynamics analyses in :mod:`repro.sim.analysis`.
+        observer:
+            Optional :class:`~repro.obs.base.SimObserver` notified of every
+            job/node transition and scheduling pass.  ``None`` (default)
+            keeps the engine's output bit-for-bit identical to the
+            observer-free code path at negligible cost (one branch per
+            hook site).
         late_binding:
             Refresh the queue head's requirement from the estimator at each
             scheduling pass (estimation feeds the *matcher*, per Figure 2),
@@ -120,7 +129,20 @@ class Simulation:
         self.collect_attempts = collect_attempts
         self.record_timeline = record_timeline
         self.late_binding = late_binding
-        self._timeline: List[Tuple[float, int, int]] = []
+        # A NullObserver is contractually the absence of observation, so it
+        # is normalised onto the observer-free fast path (no hook dispatch).
+        # Imported here: repro.obs imports repro.sim at module load.
+        if observer is not None:
+            from repro.obs.base import NullObserver
+
+            if type(observer) is NullObserver:
+                observer = None
+        self._obs = observer
+        self._timeline: List[TimelineSample] = []
+        #: (fail_time, scheduled_repair_time) per failed node; downtime is
+        #: computed at the end of the run with each interval clamped to the
+        #: observed trace, so late repairs add no phantom downtime.
+        self._down_intervals: List[Tuple[float, float]] = []
 
         self._events = EventQueue()
         self._queue: List[QueuedJob] = []
@@ -155,6 +177,17 @@ class Simulation:
 
         self.cluster.reset()
         self.estimator.bind(self.cluster.ladder)
+        if self._obs is not None:
+            self._obs.on_run_start(
+                RunMeta(
+                    workload=self.workload,
+                    cluster=self.cluster,
+                    estimator=self.estimator,
+                    policy=self.policy,
+                    n_jobs=len(self.workload),
+                    total_nodes=self.cluster.total_nodes,
+                )
+            )
 
         first_submit = math.inf
         for job in self.workload:
@@ -183,10 +216,23 @@ class Simulation:
                 self._on_node_failure(now)
             else:
                 self._on_node_repair(now, payload)
-            self._schedule_pass(now)
+            n_started = self._schedule_pass(now)
             if self.record_timeline:
                 self._timeline.append(
-                    (now, len(self._queue), self.cluster.busy_nodes)
+                    TimelineSample(
+                        time=now,
+                        queue_length=len(self._queue),
+                        busy_nodes=self.cluster.busy_nodes,
+                        down_nodes=self.cluster.down_nodes,
+                    )
+                )
+            if self._obs is not None:
+                self._obs.on_scheduling_pass(
+                    now,
+                    n_started,
+                    len(self._queue),
+                    self.cluster.busy_nodes,
+                    self.cluster.down_nodes,
                 )
 
         if self._queue:
@@ -198,7 +244,10 @@ class Simulation:
                 f"{len(self._queue)} jobs stranded in the queue at end of trace"
             )
 
-        return self._build_result()
+        result = self._build_result()
+        if self._obs is not None:
+            self._obs.on_run_end(result)
+        return result
 
     # -------------------------------------------------------------- events
     def _on_arrival(self, now: float, job: Job) -> None:
@@ -223,11 +272,15 @@ class Simulation:
             # would deadlock behind it.  Reject rather than strand the queue.
             self._rejected.append(job)
             self._progress.pop(job.job_id, None)
+            if self._obs is not None:
+                self._obs.on_job_rejected(now, job, attempt)
             return
         if at_head:
             self._queue.insert(0, entry)
         else:
             self._queue.append(entry)
+        if self._obs is not None:
+            self._obs.on_job_enqueued(now, job, attempt, requirement, at_head)
 
     def _on_completion(self, now: float, exec_id: int) -> None:
         execution = self._running.pop(exec_id)
@@ -270,6 +323,8 @@ class Simulation:
             progress.completed = True
             progress.final = record
             self._useful_node_seconds += record.node_seconds
+            if self._obs is not None:
+                self._obs.on_job_completed(now, record)
         else:
             if outcome.resource_related:
                 progress.n_resource_failures += 1
@@ -278,6 +333,11 @@ class Simulation:
                 self._counter["spurious_failures"] += 1
             progress.wasted_node_seconds += record.node_seconds
             self._wasted_node_seconds += record.node_seconds
+            # The failed hook fires after the estimator observed the attempt
+            # (telemetry samples the post-feedback state) and before the
+            # resubmission's enqueued hook.
+            if self._obs is not None:
+                self._obs.on_job_failed(now, record)
             # §3.1: "Once it fails, the job returns to the head of the queue."
             self._enqueue(now, job, attempt=entry.attempt + 1, at_head=True)
 
@@ -304,8 +364,13 @@ class Simulation:
             self.cluster.fail_node(level)
             repair = injector.repair_delay()
             injector.stats.n_nodes_failed += 1
-            injector.stats.node_downtime_seconds += repair
+            # Downtime is *not* credited here: the full repair interval may
+            # outlive the trace.  The interval is clamped to the observed
+            # simulation time in _build_result.
+            self._down_intervals.append((now, now + repair))
             self._events.push(now + repair, EventKind.NODE_REPAIR, level)
+            if self._obs is not None:
+                self._obs.on_node_failed(now, level, repair)
         # Keep the failure process alive only while work remains; trailing
         # repair events drain on their own.
         if self._arrivals_pending or self._running or self._queue:
@@ -313,6 +378,8 @@ class Simulation:
 
     def _on_node_repair(self, now: float, level: float) -> None:
         self.cluster.repair_node(level)
+        if self._obs is not None:
+            self._obs.on_node_repaired(now, level)
 
     def _kill_execution_at_level(self, now: float, level: float) -> None:
         """Kill one running execution holding a node at ``level``.
@@ -384,16 +451,20 @@ class Simulation:
         injector.stats.n_jobs_killed += 1
         progress.wasted_node_seconds += record.node_seconds
         self._wasted_node_seconds += record.node_seconds
+        if self._obs is not None:
+            self._obs.on_job_killed(now, record)
         # Like any failure, the job returns to the head of the queue (§3.1).
         self._enqueue(now, job, attempt=entry.attempt + 1, at_head=True)
 
     # ----------------------------------------------------------- scheduling
-    def _schedule_pass(self, now: float) -> None:
+    def _schedule_pass(self, now: float) -> int:
+        """Start every startable job; returns how many were started."""
         # Building the running-jobs view costs O(#running); only policies
         # that plan reservations (backfilling) read it, so FCFS/SJF passes
         # hand over an empty tuple.
         needs_running = getattr(self.policy, "needs_running", False)
         refresh = self.late_binding and not self.estimator.never_reduces()
+        n_started = 0
         while self._queue:
             if refresh:
                 # Late binding (Figure 2 places estimation before *matching*,
@@ -425,9 +496,11 @@ class Simulation:
                 running_view = ()
             idx = self.policy.select(now, self._queue, self.cluster, running_view)
             if idx is None:
-                return
+                return n_started
             entry = self._queue.pop(idx)
             self._start(now, entry)
+            n_started += 1
+        return n_started
 
     def _start(self, now: float, entry: QueuedJob) -> None:
         allocation = self.cluster.allocate(entry.job.procs, entry.requirement)
@@ -453,6 +526,15 @@ class Simulation:
         if entry.requirement < entry.job.req_mem:
             self._counter["reduced_submissions"] += 1
         self._events.push(end_time, EventKind.COMPLETION, exec_id)
+        if self._obs is not None:
+            self._obs.on_job_started(
+                now,
+                entry.job,
+                entry.attempt,
+                entry.requirement,
+                allocation.min_capacity,
+                allocation.n_nodes,
+            )
 
     # -------------------------------------------------------------- result
     def _build_result(self) -> SimResult:
@@ -485,6 +567,16 @@ class Simulation:
             )
         summaries.sort(key=lambda s: (s.first_submit, s.job.job_id))
         t_first = summaries[0].first_submit if summaries else 0.0
+        # Downtime clamped to the observed trace: a repair scheduled past the
+        # last completion (or a failure landing after it) contributes only
+        # the overlap with [t_first, t_last_end].  The injector's running
+        # stats are updated too, so both views agree.
+        downtime = sum(
+            max(0.0, min(end, self._t_last_end) - max(start, t_first))
+            for start, end in self._down_intervals
+        )
+        if self.fault_injector is not None:
+            self.fault_injector.stats.node_downtime_seconds = downtime
         return SimResult(
             workload_name=self.workload.name,
             cluster_name=self.cluster.name,
@@ -505,11 +597,7 @@ class Simulation:
                 if self.fault_injector is not None
                 else 0
             ),
-            node_downtime_seconds=(
-                self.fault_injector.stats.node_downtime_seconds
-                if self.fault_injector is not None
-                else 0.0
-            ),
+            node_downtime_seconds=downtime,
             n_reduced_submissions=self._counter["reduced_submissions"],
             useful_node_seconds=self._useful_node_seconds,
             wasted_node_seconds=self._wasted_node_seconds,
@@ -526,6 +614,7 @@ def simulate(
     spurious_failure_prob: float = 0.0,
     fault_config: Optional[FaultConfig] = None,
     collect_attempts: bool = True,
+    observer: Optional[SimObserver] = None,
 ) -> SimResult:
     """Run one simulation with the paper's defaults (FCFS, no estimation).
 
@@ -533,7 +622,8 @@ def simulate(
     ``fault_config`` switches on node-level fault injection
     (:mod:`repro.sim.faults`); its RNG stream derives from ``seed`` but is
     independent of the failure model's, so enabling faults never reshuffles
-    the baseline's randomness.
+    the baseline's randomness.  ``observer`` attaches a
+    :class:`~repro.obs.base.SimObserver` (see :mod:`repro.obs`).
     """
     injector = None
     if fault_config is not None and fault_config.enabled:
@@ -547,4 +637,5 @@ def simulate(
         fault_injector=injector,
         seed=seed,
         collect_attempts=collect_attempts,
+        observer=observer,
     ).run()

@@ -11,6 +11,19 @@ The paper evaluates with Feitelson's metrics [5]:
   the no-estimation/with-estimation slowdown ratio per load.
 * **bounded slowdown** — the standard guard against sub-second jobs blowing
   the average up; provided for completeness.
+
+Fault-aware accounting
+----------------------
+Under node fault injection part of the machine is out of service, so the
+raw-hardware denominator ``total_nodes * makespan`` overstates the capacity
+that was actually offered — fault runs would under-report utilization.
+:func:`utilization` and :func:`wasted_fraction` therefore default to
+**effective capacity**: the raw denominator minus
+``SimResult.node_downtime_seconds`` (itself clamped to the observed trace by
+the engine, and defensively re-clamped here).  Pass ``effective=False`` for
+the raw-hardware variant — the right denominator when the question is "how
+much of the machine we *bought* did useful work", faults included.  The two
+variants agree exactly on fault-free runs (downtime is zero).
 """
 
 from __future__ import annotations
@@ -24,20 +37,40 @@ from repro.sim.records import SimResult
 from repro.util.validation import check_in_range, check_positive
 
 
-def utilization(result: SimResult) -> float:
-    """Useful node-seconds over machine capacity during the makespan."""
+def capacity_node_seconds(result: SimResult, effective: bool = True) -> float:
+    """The utilization denominator: machine capacity over the makespan.
+
+    ``effective=True`` subtracts the node-seconds lost to injected faults
+    (clamped so a pathological downtime figure can never drive the capacity
+    negative); ``effective=False`` is the raw hardware inventory.
+    """
     span = result.makespan
     if span <= 0 or result.total_nodes <= 0:
         return 0.0
-    return result.useful_node_seconds / (result.total_nodes * span)
+    raw = result.total_nodes * span
+    if not effective:
+        return raw
+    return raw - min(max(result.node_downtime_seconds, 0.0), raw)
 
 
-def wasted_fraction(result: SimResult) -> float:
+def utilization(result: SimResult, effective: bool = True) -> float:
+    """Useful node-seconds over machine capacity during the makespan.
+
+    Defaults to effective (in-service) capacity; see the module docstring.
+    Identical to the raw-hardware variant whenever no faults were injected.
+    """
+    capacity = capacity_node_seconds(result, effective=effective)
+    if capacity <= 0:
+        return 0.0
+    return result.useful_node_seconds / capacity
+
+
+def wasted_fraction(result: SimResult, effective: bool = True) -> float:
     """Node-time burnt by failed executions, over machine capacity."""
-    span = result.makespan
-    if span <= 0 or result.total_nodes <= 0:
+    capacity = capacity_node_seconds(result, effective=effective)
+    if capacity <= 0:
         return 0.0
-    return result.wasted_node_seconds / (result.total_nodes * span)
+    return result.wasted_node_seconds / capacity
 
 
 def mean_slowdown(result: SimResult) -> float:

@@ -9,11 +9,27 @@ container every metric and experiment consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.workload.job import Job
+
+
+class TimelineSample(NamedTuple):
+    """One point of the queue/utilization time series.
+
+    Sampled after every simulation event when ``record_timeline=True`` (or
+    by :class:`repro.obs.sampler.TimelineSampler`).  ``down_nodes`` counts
+    capacity out of service from fault injection at the sample instant, so
+    queue-dynamics analyses under faults can tell idle from failed capacity:
+    free in-service nodes are ``total - busy_nodes - down_nodes``.
+    """
+
+    time: float
+    queue_length: int
+    busy_nodes: int
+    down_nodes: int = 0
 
 
 @dataclass(frozen=True)
@@ -115,13 +131,17 @@ class SimResult:
     n_fault_kills: int = 0
     #: Nodes taken out of service by fault injection over the run.
     n_node_failures: int = 0
+    #: Node-seconds out of service, with each down interval clamped to the
+    #: observed trace ([first submit, last completion]) — a repair scheduled
+    #: past the end of the workload does not count phantom downtime.
     node_downtime_seconds: float = 0.0
     n_reduced_submissions: int = 0
     useful_node_seconds: float = 0.0
     wasted_node_seconds: float = 0.0
-    #: (time, queue_length, busy_nodes) samples, one per event — populated
-    #: only when the simulation ran with ``record_timeline=True``.
-    timeline: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: :class:`TimelineSample` records, one per event — populated only when
+    #: the simulation ran with ``record_timeline=True`` (see also
+    #: :class:`repro.obs.sampler.TimelineSampler`).
+    timeline: List[TimelineSample] = field(default_factory=list)
 
     # ------------------------------------------------------------- totals
     @property

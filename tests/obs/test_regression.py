@@ -1,0 +1,94 @@
+"""Observer-off runs must be bit-identical to the pre-observer engine.
+
+The acceptance criterion of the observability layer: with no observer (or
+the :class:`NullObserver`) attached, ``simulate()`` output is bit-for-bit
+identical — same attempts, same node-seconds, same summaries — and the
+engine performs nothing but one ``is None`` branch per hook site.
+"""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.core import SuccessiveApproximation
+from repro.obs import CompositeObserver, CounterObserver, NullObserver, RecordingObserver
+from repro.sim import FaultConfig, simulate
+
+
+def full_fingerprint(result):
+    """Every numeric output of a run, down to attempt-level floats."""
+    return (
+        result.n_attempts,
+        result.n_resource_failures,
+        result.n_spurious_failures,
+        result.n_fault_kills,
+        result.n_node_failures,
+        result.node_downtime_seconds,
+        result.n_reduced_submissions,
+        result.useful_node_seconds,
+        result.wasted_node_seconds,
+        result.t_first_submit,
+        result.t_last_end,
+        [
+            (a.job_id, a.attempt, a.start_time, a.end_time, a.requirement,
+             a.granted, a.succeeded, a.resource_failure)
+            for a in result.attempts
+        ],
+        [
+            (s.job.job_id, s.start_time, s.end_time, s.n_attempts,
+             s.final_requirement, s.wasted_node_seconds)
+            for s in result.summaries
+        ],
+    )
+
+
+def run(trace, observer=None, faults=False):
+    return simulate(
+        trace,
+        paper_cluster(24.0),
+        estimator=SuccessiveApproximation(),
+        seed=0,
+        fault_config=FaultConfig(node_mtbf=5e6, node_mttr=2000.0) if faults else None,
+        observer=observer,
+    )
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("faults", [False, True], ids=["clean", "faulty"])
+    def test_null_observer_is_invisible(self, sim_trace, faults):
+        base = full_fingerprint(run(sim_trace, observer=None, faults=faults))
+        nulled = full_fingerprint(run(sim_trace, observer=NullObserver(), faults=faults))
+        assert base == nulled
+
+    def test_real_observers_are_invisible_too(self, sim_trace):
+        # Hooks are notifications, not interventions: even a full observer
+        # stack must not perturb the result.
+        base = full_fingerprint(run(sim_trace, faults=True))
+        stacked = full_fingerprint(
+            run(
+                sim_trace,
+                observer=CompositeObserver(
+                    [CounterObserver(), RecordingObserver()]
+                ),
+                faults=True,
+            )
+        )
+        assert base == stacked
+
+    def test_counters_match_engine_counters(self, sim_trace):
+        counters = CounterObserver()
+        result = run(sim_trace, observer=counters, faults=True)
+        snap = counters.snapshot()
+        assert snap["attempts_started"] == result.n_attempts
+        assert snap["attempts_failed_resource"] == result.n_resource_failures
+        assert snap["attempts_failed_spurious"] == result.n_spurious_failures
+        assert snap["attempts_killed_by_fault"] == result.n_fault_kills
+        assert snap["node_failures"] == result.n_node_failures
+        assert snap["attempts_completed"] == result.n_completed
+        assert snap["useful_node_seconds"] == pytest.approx(result.useful_node_seconds)
+        assert snap["lost_node_seconds"] == pytest.approx(result.wasted_node_seconds)
+        # Every failure path feeds a head-of-queue resubmission.
+        assert snap["resubmissions"] == (
+            result.n_resource_failures
+            + result.n_spurious_failures
+            + result.n_fault_kills
+        )

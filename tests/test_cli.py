@@ -60,6 +60,46 @@ class TestSimulate:
         assert main(["simulate", "--jobs", "500", "--tier2", "16"]) == 0
         assert "utilization" in capsys.readouterr().out
 
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        rc = main(["simulate", "--jobs", "500", "--trace-out", str(trace)])
+        assert rc == 0
+        assert trace.exists() and trace.read_text().startswith('{"v":1')
+
+    def test_prometheus_to_file(self, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        assert main(["simulate", "--jobs", "500", "--prometheus", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_utilization_effective gauge" in text
+
+
+class TestStatsAndTrace:
+    def test_stats_prints_observability_report(self, capsys):
+        rc = main(
+            ["stats", "--jobs", "600", "--estimator", "successive",
+             "--node-mtbf", "5e6", "--node-mttr", "2000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "event counters" in out
+        assert "queue dynamics" in out
+        assert "effective" in out and "raw" in out
+
+    def test_trace_summarizes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["simulate", "--jobs", "500", "--estimator", "successive",
+             "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "job_started" in out
+        assert "group" in out
+
+    def test_trace_missing_file_errors(self, capsys):
+        assert main(["trace", "/nonexistent/nope.jsonl"]) == 1
+
 
 class TestExperiment:
     @pytest.mark.parametrize("name", ["fig1", "fig7"])

@@ -50,7 +50,7 @@ class TestEngineTimelineViaSimulate:
             record_timeline=True,
         ).run()
         assert len(result.timeline) >= 5
-        times = [t for t, _, _ in result.timeline]
+        times = [s.time for s in result.timeline]
         assert times == sorted(times)
 
     def test_timeline_off_by_default(self):
