@@ -4,7 +4,7 @@ PYTHON ?= python
 # Pool size for the parallel sweep benchmarks (sweep-bench target).
 REPRO_BENCH_WORKERS ?= 4
 
-.PHONY: install test bench bench-full sweep-bench faults-bench obs-bench examples artifacts clean
+.PHONY: install test bench bench-full sweep-bench engine-bench faults-bench obs-bench examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,12 @@ sweep-bench:
 		benchmarks/test_fig8_memory_sweep.py \
 		benchmarks/test_replication.py \
 		--benchmark-only
+
+# Engine throughput gate: best-of-N single-run jobs/s plus a sweep slice,
+# written machine-readably to benchmarks/results/BENCH_engine.json; fails
+# if throughput drops >10% below the recorded pre-optimization baseline.
+engine-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/engine_bench.py
 
 # The fault-injection study (§2.1 "faulty machines") plus the executor's
 # crash-resilience stress tests (worker SIGKILL, timeout, checkpoint resume).

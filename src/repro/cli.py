@@ -188,6 +188,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     observer = None
     if args.trace_out:
         observer = JsonlTraceObserver(args.trace_out)
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         result = simulate(
             workload,
@@ -200,8 +206,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             observer=observer,
         )
     finally:
+        if profiler is not None:
+            profiler.disable()
         if observer is not None:
             observer.close()
+    if profiler is not None:
+        import pstats
+
+        print("== profile (top 20 by cumulative time) ==")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
     print(result.summary_table())
     print(f"utilization: {utilization(result):.3f}")
     print(f"mean slowdown: {mean_slowdown(result):.1f}")
@@ -431,6 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         metavar="PATH",
         help="stream a JSONL event trace of the run to PATH",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top 20 cumulative-time entries",
     )
     p.set_defaults(fn=cmd_simulate)
 

@@ -21,7 +21,6 @@ Allocation strategies
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Literal, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.ladder import CapacityLadder
@@ -33,7 +32,6 @@ AllocationStrategy = Literal["best_fit", "worst_fit", "first_fit"]
 _STRATEGIES = ("best_fit", "worst_fit", "first_fit")
 
 
-@dataclass(frozen=True)
 class Allocation:
     """Nodes granted to one job: a count per capacity level.
 
@@ -41,26 +39,37 @@ class Allocation:
     for failure: a parallel job runs one process per node, so it completes
     only if **every** node has enough memory, i.e. iff
     ``min_capacity >= used_mem``.
+
+    ``n_nodes``/``min_capacity``/``max_capacity`` are derived from ``counts``
+    once at construction: the engine reads them on every start, completion,
+    and failure draw, so recomputing ``min``/``sum`` per access was a
+    measurable share of the hot path.  A plain ``__slots__`` class rather
+    than a frozen dataclass — one is built per started execution, and the
+    frozen-dataclass ``object.__setattr__`` per field showed up in profiles.
+    Treat instances as immutable; equality compares ``counts`` and
+    ``requirement`` (the derived fields follow from them).
     """
 
-    counts: Mapping[float, int]
-    requirement: float
+    __slots__ = ("counts", "requirement", "n_nodes", "min_capacity", "max_capacity")
 
-    @property
-    def n_nodes(self) -> int:
-        return sum(self.counts.values())
-
-    @property
-    def min_capacity(self) -> float:
-        return min(self.counts)
-
-    @property
-    def max_capacity(self) -> float:
-        return max(self.counts)
+    def __init__(self, counts: Mapping[float, int], requirement: float) -> None:
+        self.counts = counts
+        self.requirement = requirement
+        self.n_nodes = sum(counts.values())
+        self.min_capacity = min(counts)
+        self.max_capacity = max(counts)
 
     def satisfies(self, used_mem: float) -> bool:
         """Whether a job actually using ``used_mem`` MB/node can complete."""
         return self.min_capacity >= used_mem
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return self.counts == other.counts and self.requirement == other.requirement
+
+    def __repr__(self) -> str:
+        return f"Allocation(counts={self.counts!r}, requirement={self.requirement!r})"
 
 
 class Cluster:
@@ -100,6 +109,7 @@ class Cluster:
 
         self.name = name
         self.strategy: AllocationStrategy = strategy
+        self._best_fit = strategy == "best_fit"
         self.ladder = CapacityLadder(merged.keys())
         self._total: Dict[float, int] = {lvl: merged[lvl] for lvl in self.ladder.levels}
         self._free: Dict[float, int] = dict(self._total)
@@ -157,15 +167,21 @@ class Cluster:
 
     def free_with_capacity(self, min_capacity: float) -> int:
         """Free nodes whose capacity is >= ``min_capacity``."""
-        return sum(
-            self._free[lvl] for lvl in self.ladder.levels_at_least(min_capacity)
-        )
+        # Plain loop, not sum(genexpr): called once per scheduling pass and
+        # enqueue, and the generator frame was measurable there.
+        free = self._free
+        total = 0
+        for lvl in self.ladder.levels_at_least(min_capacity):
+            total += free[lvl]
+        return total
 
     def total_with_capacity(self, min_capacity: float) -> int:
         """All nodes (busy or free) whose capacity is >= ``min_capacity``."""
-        return sum(
-            self._total[lvl] for lvl in self.ladder.levels_at_least(min_capacity)
-        )
+        counts = self._total
+        total = 0
+        for lvl in self.ladder.levels_at_least(min_capacity):
+            total += counts[lvl]
+        return total
 
     def machines(self) -> List[Machine]:
         """The individual machine records (introspection only)."""
@@ -207,11 +223,16 @@ class Cluster:
             raise ValueError(f"n_nodes must be positive, got {n_nodes}")
         check_positive("min_capacity", min_capacity)
         eligible = self.ladder.levels_at_least(min_capacity)
-        if sum(self._free[lvl] for lvl in eligible) < n_nodes:
+        free_total = 0
+        for lvl in eligible:
+            free_total += self._free[lvl]
+        if free_total < n_nodes:
             return None
         counts: Dict[float, int] = {}
         remaining = n_nodes
-        for lvl in self._level_order(eligible):
+        # best_fit's order is the eligible tuple itself (ladder order is
+        # ascending); skip the strategy dispatch on the common path.
+        for lvl in eligible if self._best_fit else self._level_order(eligible):
             take = min(self._free[lvl], remaining)
             if take > 0:
                 counts[lvl] = take

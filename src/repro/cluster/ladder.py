@@ -17,6 +17,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.util.validation import check_positive
 
 
+_MISS = object()  # round_up cache sentinel (None is a valid cached result)
+
+
 class CapacityLadder:
     """Sorted unique capacity levels with round-up/round-down queries."""
 
@@ -27,6 +30,13 @@ class CapacityLadder:
         for v in uniq:
             check_positive("capacity level", v)
         self._levels: Tuple[float, ...] = tuple(uniq)
+        # Memoized round_up / levels_at_least results.  The ladder is
+        # immutable, so entries never invalidate; estimators round the same
+        # handful of values (levels divided by alpha powers) millions of
+        # times per sweep.  Growth is bounded by the number of distinct query
+        # values, at most one per estimate call in the degenerate case.
+        self._up_cache: dict = {}
+        self._at_least_cache: dict = {}
 
     @property
     def levels(self) -> Tuple[float, ...]:
@@ -54,10 +64,13 @@ class CapacityLadder:
         Returns ``None`` when ``value`` exceeds every level (no machine in
         the cluster can satisfy it).
         """
+        hit = self._up_cache.get(value, _MISS)
+        if hit is not _MISS:
+            return hit
         i = bisect.bisect_left(self._levels, float(value))
-        if i == len(self._levels):
-            return None
-        return self._levels[i]
+        result = None if i == len(self._levels) else self._levels[i]
+        self._up_cache[value] = result
+        return result
 
     def round_down(self, value: float) -> Optional[float]:
         """Highest level <= ``value``; ``None`` if below the smallest level."""
@@ -68,8 +81,13 @@ class CapacityLadder:
 
     def levels_at_least(self, value: float) -> Tuple[float, ...]:
         """All levels >= ``value``, ascending (the feasible machine classes)."""
+        hit = self._at_least_cache.get(value)
+        if hit is not None:
+            return hit
         i = bisect.bisect_left(self._levels, float(value))
-        return self._levels[i:]
+        result = self._levels[i:]
+        self._at_least_cache[value] = result
+        return result
 
     def __repr__(self) -> str:
         return f"CapacityLadder({list(self._levels)})"

@@ -19,16 +19,18 @@ estimate should not back off.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.cluster.ladder import CapacityLadder
 from repro.workload.job import Job
 
 
-@dataclass(frozen=True)
-class Feedback:
+class Feedback(NamedTuple):
     """Outcome of one execution attempt, reported to the estimator.
+
+    A ``NamedTuple``: the engine builds one per completed attempt, so
+    construction cost is on the hot path (tuples skip the frozen-dataclass
+    ``object.__setattr__`` per field).
 
     Attributes
     ----------
@@ -104,6 +106,20 @@ class Estimator(abc.ABC):
     @abc.abstractmethod
     def observe(self, feedback: Feedback) -> None:
         """Fold one execution attempt's outcome into the estimator's state."""
+
+    def estimate_version(self, job: Job, attempt: int = 0) -> Optional[int]:
+        """Optional memoization token for repeated :meth:`estimate` calls.
+
+        A scheduler that re-estimates the same pending submission on every
+        pass (late binding) may skip the call while this token is unchanged:
+        the contract is that ``estimate(job, attempt)`` returns the same
+        value (and has the same observable side effects) as its previous
+        invocation whenever the token equals the one from that invocation.
+        Return ``None`` (the default) to disable memoization — every refresh
+        then calls :meth:`estimate`.  Implementations must be much cheaper
+        than :meth:`estimate` itself to be worthwhile.
+        """
+        return None
 
     def reset(self) -> None:
         """Discard learned state (fresh simulation run).  Keeps the binding."""

@@ -39,7 +39,7 @@ from repro.util.validation import check_in_range, check_positive
 from repro.workload.job import Job
 
 
-@dataclass
+@dataclass(slots=True)
 class GroupState:
     """Per-similarity-group state: exactly the (E_i, alpha_i) of Algorithm 1.
 
@@ -58,6 +58,9 @@ class GroupState:
     failures: int = 0
     probe: Optional[Tuple[int, int]] = None  # (job_id, attempt) probing below safe
     safe_failures: int = 0  # consecutive failures at the supposedly safe value
+    #: Bumped on every observe() touching this group — the memoization token
+    #: behind :meth:`SuccessiveApproximation.estimate_version`.
+    version: int = 0
 
     @property
     def safe_value(self) -> float:
@@ -148,6 +151,13 @@ class SuccessiveApproximation(Estimator):
         self._failed_at: Dict[int, float] = {}
         self._groups: Dict[GroupKey, GroupState] = {}
         self._trajectories: Dict[GroupKey, List[Tuple[float, float]]] = {}
+        # job_id -> resolved group.  A job's key is a pure function of the
+        # (immutable) job and GroupState objects are stable for the life of
+        # the run, so resolving the key tuple + dict probe once per job (and
+        # once per estimate/observe thereafter via a single int-keyed get)
+        # is safe.  The engine alternates observe/estimate across many jobs,
+        # which defeats a single-entry memo.
+        self._job_group: Dict[int, GroupState] = {}
 
     # ------------------------------------------------------------- protocol
     def estimate(self, job: Job, attempt: int = 0) -> float:
@@ -155,18 +165,25 @@ class SuccessiveApproximation(Estimator):
         if attempt >= self.max_reduced_attempts:
             # Termination guard: stop estimating this job, trust its request.
             return job.req_mem
-        rounded = self.ladder.round_up(group.estimate)
+        ladder = self.ladder
+        req = job.req_mem
+        rounded = ladder.round_up(group.estimate)
         if rounded is None:
             # The estimate exceeds every machine; the request itself cannot
             # be reduced into the cluster.  Fall back to the raw request so
             # the scheduler's feasibility handling sees the true picture.
-            return job.req_mem
-        e_prime = clamp_to_request(rounded, job)
-        if self.serial_probing:
-            safe_rounded = self.ladder.round_up(group.safe_value)
-            safe_req = clamp_to_request(
-                safe_rounded if safe_rounded is not None else job.req_mem, job
-            )
+            return req
+        # clamp_to_request, inlined (this is the hottest call in a sweep).
+        e_prime = rounded if rounded < req else req
+        # Probing below the safe value requires group.estimate < safe_value:
+        # round_up is monotone, so otherwise e_prime >= safe_req and the
+        # branch is a no-op — skipped without the second round_up.
+        if self.serial_probing and group.estimate < group.safe_value:
+            safe_rounded = ladder.round_up(group.safe_value)
+            if safe_rounded is None or safe_rounded > req:
+                safe_req = req
+            else:
+                safe_req = safe_rounded
             if e_prime < safe_req:
                 ticket = (job.job_id, attempt)
                 if group.probe is None or group.probe == ticket:
@@ -187,8 +204,26 @@ class SuccessiveApproximation(Estimator):
             )
         return e_prime
 
+    def estimate_version(self, job: Job, attempt: int = 0) -> Optional[int]:
+        """Memoization token for the engine's late-binding refresh.
+
+        While this value is unchanged, :meth:`estimate` for ``job`` provably
+        returns what it returned last time: the result depends only on the
+        job's group state and the per-job retry floor, both mutated
+        exclusively by :meth:`observe` — which bumps the group's version.
+        (Probe tickets are assigned *inside* estimate, but first-taker-wins
+        and only observe releases them, so per-entry results stay stable
+        within a version.)  Returns ``None`` — "never memoize" — when
+        trajectory recording is on, so every refresh keeps appending its
+        (E_i, E') sample.
+        """
+        if self.record_trajectories:
+            return None
+        return self._group_for(job).version
+
     def observe(self, feedback: Feedback) -> None:
         group = self._group_for(feedback.job)
+        group.version += 1
         if group.probe == (feedback.job.job_id, feedback.attempt):
             group.probe = None  # the probe's verdict is in
         if feedback.succeeded:
@@ -252,15 +287,20 @@ class SuccessiveApproximation(Estimator):
         self._groups.clear()
         self._trajectories.clear()
         self._failed_at.clear()
+        self._job_group.clear()
 
     # ------------------------------------------------------------- introspection
     def _group_for(self, job: Job) -> GroupState:
+        state = self._job_group.get(job.job_id)
+        if state is not None:
+            return state
         key = self.key_fn(job)
         state = self._groups.get(key)
         if state is None:
             # Lines 3-4: open a new group seeded with the job's request.
             state = GroupState(estimate=job.req_mem, alpha=self.alpha, request=job.req_mem)
             self._groups[key] = state
+        self._job_group[job.job_id] = state
         return state
 
     def group_state(self, key: GroupKey) -> Optional[GroupState]:

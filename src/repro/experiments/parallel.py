@@ -68,7 +68,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.cache import SweepCache
 from repro.experiments.runner import LoadSweep, SweepPoint, run_point
-from repro.experiments.specs import RunSpec
+from repro.experiments.specs import RunSpec, clear_materialization_caches
 from repro.sim.metrics import mean_slowdown, utilization
 
 logger = logging.getLogger("repro.sweep")
@@ -127,6 +127,24 @@ def simulate_spec(spec: RunSpec) -> SweepPoint:
         frac_reduced_submissions=result.frac_reduced_submissions,
         wasted_node_seconds=result.wasted_node_seconds,
     )
+
+
+def _worker_init() -> None:
+    """Process-pool initializer: give each worker its own clean spec caches.
+
+    :mod:`repro.experiments.specs` memoizes materialized workloads and
+    clusters per process, keyed by the same provenance fields the spec
+    fingerprint hashes — so N specs over the same trace parse it once per
+    worker.  Under the ``fork`` start method a fresh worker would *inherit*
+    the parent's memos and hit counters; clearing them at worker start makes
+    the cache (and its accounting) genuinely per-worker and bounded.
+    """
+    clear_materialization_caches()
+
+
+def _worker_warmup() -> int:
+    """No-op shipped to freshly spawned workers to force/measure spin-up."""
+    return os.getpid()
 
 
 def execute_spec(spec: RunSpec) -> RunOutcome:
@@ -194,6 +212,10 @@ class _ExecutionStats:
     n_retries: int = 0
     n_timeouts: int = 0
     n_pool_rebuilds: int = 0
+    #: Wall clock spent constructing process pools and spawning their
+    #: workers (cumulative across rebuilds) — reported separately so pool
+    #: overhead is never mistaken for simulation time.
+    pool_spinup_seconds: float = 0.0
 
 
 class SweepCheckpoint:
@@ -316,6 +338,14 @@ class SweepReport:
     n_pool_rebuilds: int = 0
     #: Points restored from a checkpoint manifest of an earlier (killed) run.
     n_resumed: int = 0
+    #: Workers the caller asked for (``max_workers`` is what actually ran:
+    #: oversubscription on a small host falls back to the serial path).
+    requested_workers: int = 0
+    #: ``os.cpu_count()`` of the executing host (0 when undetermined).
+    host_cpus: int = 0
+    #: Seconds spent building pools and spawning workers, separate from
+    #: ``wall_time`` accounting of the simulations themselves.
+    pool_spinup_time: float = 0.0
 
     @property
     def n_runs(self) -> int:
@@ -390,6 +420,8 @@ class SweepReport:
             )
             if count
         ]
+        if self.pool_spinup_time > 0:
+            extras.append(f"pool spin-up {self.pool_spinup_time:.2f}s")
         if extras:
             text += " [" + ", ".join(extras) + "]"
         return text
@@ -403,6 +435,7 @@ def run_sweep(
     max_retries: Optional[int] = None,
     retry_backoff: Optional[float] = None,
     checkpoint: Optional[Union[str, Path, SweepCheckpoint]] = None,
+    oversubscribe: bool = False,
 ) -> SweepReport:
     """Execute every spec, in parallel when ``max_workers > 1``.
 
@@ -413,8 +446,25 @@ def run_sweep(
     order.  ``timeout``/``max_retries``/``retry_backoff``/``checkpoint``
     default to the module-level :class:`ResilienceConfig` (see
     :func:`set_default_resilience`).
+
+    Requesting more workers than the host has CPUs buys nothing for these
+    CPU-bound simulations — it adds pool spin-up and scheduling overhead on
+    top of serial-speed progress — so the sweep falls back to the serial
+    path when ``max_workers > os.cpu_count()``.  Pass ``oversubscribe=True``
+    to force a pool anyway (tests of the pool machinery itself do this).
     """
     t0 = time.perf_counter()
+    host_cpus = os.cpu_count() or 0
+    requested = max(1, max_workers)
+    effective_workers = requested
+    if requested > 1 and host_cpus and requested > host_cpus and not oversubscribe:
+        logger.warning(
+            "requested %d workers but the host has %d CPU(s); falling back "
+            "to the serial path (oversubscribe=True forces a pool)",
+            requested,
+            host_cpus,
+        )
+        effective_workers = 1
     defaults = _DEFAULT_RESILIENCE
     timeout = defaults.timeout if timeout is None else timeout
     max_retries = defaults.max_retries if max_retries is None else max_retries
@@ -455,7 +505,7 @@ def run_sweep(
 
         _execute_all(
             [specs[i] for i in todo],
-            max_workers,
+            effective_workers,
             timeout=timeout,
             max_retries=max_retries,
             retry_backoff=retry_backoff,
@@ -466,11 +516,14 @@ def run_sweep(
     report = SweepReport(
         outcomes=list(outcomes),
         wall_time=time.perf_counter() - t0,
-        max_workers=max(1, max_workers),
+        max_workers=effective_workers,
         n_retries=stats.n_retries,
         n_timeouts=stats.n_timeouts,
         n_pool_rebuilds=stats.n_pool_rebuilds,
         n_resumed=n_resumed,
+        requested_workers=requested,
+        host_cpus=host_cpus,
+        pool_spinup_time=stats.pool_spinup_seconds,
     )
     logger.info("sweep: %s", report.summary())
     return report
@@ -604,8 +657,16 @@ class _PoolExecution:
 
     # ------------------------------------------------------------- plumbing
     def _new_pool(self) -> Optional[ProcessPoolExecutor]:
+        t0 = time.perf_counter()
         try:
-            return ProcessPoolExecutor(max_workers=self.workers)
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_worker_init
+            )
+            # Warm-up barrier: force workers to spawn (running _worker_init)
+            # *now*, so (a) spin-up cost is accounted separately instead of
+            # leaking into the first specs' wall times and per-spec timeouts,
+            # and (b) the caches start empty before any spec executes.
+            wait([pool.submit(_worker_warmup) for _ in range(self.workers)])
         except _POOL_UNAVAILABLE as exc:
             # Restricted environments (no /dev/shm, no fork) land here:
             # degrade to in-process execution rather than failing the sweep.
@@ -613,6 +674,8 @@ class _PoolExecution:
                 "process pool unavailable (%s); running sweep in-process", exc
             )
             return None
+        self.stats.pool_spinup_seconds += time.perf_counter() - t0
+        return pool
 
     def _drain_in_process(self) -> None:
         """Run every unfinished spec serially, keeping completed outcomes."""

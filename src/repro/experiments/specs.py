@@ -118,10 +118,19 @@ class WorkloadSpec:
                 self.drop_full_machine)
 
     def materialize(self) -> Workload:
-        base = _base_workload(self)
         if self.load is None:
-            return base
-        return scale_load(base, self.load)
+            return _base_workload(self)
+        key = self.base_key() + (self.load,)
+        cached = _SCALED_WORKLOADS.get(key)
+        if cached is not None:
+            _CACHE_STATS["scaled_workload_hits"] += 1
+            return cached
+        _CACHE_STATS["scaled_workload_misses"] += 1
+        scaled = scale_load(_base_workload(self), self.load)
+        if len(_SCALED_WORKLOADS) >= _SCALED_WORKLOADS_MAX:
+            _SCALED_WORKLOADS.pop(next(iter(_SCALED_WORKLOADS)))
+        _SCALED_WORKLOADS[key] = scaled
+        return scaled
 
     def fingerprint(self) -> str:
         """Stable digest of the workload content's provenance.
@@ -138,18 +147,71 @@ class WorkloadSpec:
         return h.hexdigest()
 
 
-#: Per-process memo of materialized base workloads: a sweep re-uses one
-#: trace across every load point, and a pool worker re-uses it across every
-#: spec it executes, so generation cost is paid once per process.
+#: Per-process materialization memos.  A sweep re-uses one trace across
+#: every load point, and a pool worker re-uses it across every spec it
+#: executes, so generation/parse cost is paid once per process — the pool
+#: initializer (:mod:`repro.experiments.parallel`) resets these at worker
+#: start so each worker carries its *own* bounded cache, keyed by the same
+#: provenance fields the spec fingerprint hashes.
+#:
+#: Three layers, cheapest-to-derive last:
+#:  * base workloads (``base_key()``): the parse/generate cost,
+#:  * load-scaled workloads (``base_key() + (load,)``): the arrival rescale,
+#:  * clusters (``(second_tier_mem, strategy)``): safe to share because
+#:    :meth:`repro.sim.engine.Simulation.run` resets the cluster before
+#:    every run, and the capacity ladder (plus its rounding memos) is
+#:    immutable — re-using it across runs is pure win.
 _BASE_WORKLOADS: Dict[Tuple, Workload] = {}
 _BASE_WORKLOADS_MAX = 4
+_SCALED_WORKLOADS: Dict[Tuple, Workload] = {}
+_SCALED_WORKLOADS_MAX = 16
+_CLUSTERS: Dict[Tuple, Cluster] = {}
+_CLUSTERS_MAX = 16
+
+#: Hit/miss counters for the memos above (per process — a pool worker's
+#: counters describe that worker only).  Read via
+#: :func:`materialization_cache_info`.
+_CACHE_STATS: Dict[str, int] = {
+    "base_workload_hits": 0,
+    "base_workload_misses": 0,
+    "scaled_workload_hits": 0,
+    "scaled_workload_misses": 0,
+    "cluster_hits": 0,
+    "cluster_misses": 0,
+}
+
+
+def materialization_cache_info() -> Dict[str, int]:
+    """Snapshot of this process's materialization-cache hit/miss counters.
+
+    Module-level (hence picklable): submitting this function to a pool
+    worker returns *that worker's* counters, which is how the tests prove a
+    repeated workload spec is parsed exactly once per worker.
+    """
+    return dict(_CACHE_STATS)
+
+
+def clear_materialization_caches() -> None:
+    """Drop every materialization memo and zero the hit/miss counters.
+
+    Called by the sweep executor's pool initializer so each worker starts
+    with empty caches (under ``fork`` a worker would otherwise inherit the
+    parent's memos *and* counters), and by tests needing a clean slate.
+    """
+    _BASE_WORKLOADS.clear()
+    _SCALED_WORKLOADS.clear()
+    _CLUSTERS.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
 
 
 def _base_workload(spec: WorkloadSpec) -> Workload:
     key = spec.base_key()
     cached = _BASE_WORKLOADS.get(key)
     if cached is not None:
+        _CACHE_STATS["base_workload_hits"] += 1
         return cached
+    _CACHE_STATS["base_workload_misses"] += 1
     if spec.source == "lanl-cm5-synthetic":
         workload = lanl_cm5_like(n_jobs=spec.n_jobs, seed=spec.seed)
     elif spec.source == "swf":
@@ -174,7 +236,20 @@ class ClusterSpec:
     strategy: str = "best_fit"
 
     def materialize(self) -> Cluster:
-        return paper_cluster(self.second_tier_mem, strategy=self.strategy)
+        # Memoized per process: Simulation.run() resets the cluster before
+        # every run, so sequential runs can share one instance — and they
+        # then also share the ladder's immutable rounding memos.
+        key = (self.second_tier_mem, self.strategy)
+        cached = _CLUSTERS.get(key)
+        if cached is not None:
+            _CACHE_STATS["cluster_hits"] += 1
+            return cached
+        _CACHE_STATS["cluster_misses"] += 1
+        cluster = paper_cluster(self.second_tier_mem, strategy=self.strategy)
+        if len(_CLUSTERS) >= _CLUSTERS_MAX:
+            _CLUSTERS.pop(next(iter(_CLUSTERS)))
+        _CLUSTERS[key] = cluster
+        return cluster
 
 
 @dataclass(frozen=True)

@@ -24,8 +24,10 @@ the result.  With the paper's workloads this never triggers.
 from __future__ import annotations
 
 import math
+from collections import deque
+from heapq import heappop as _heappop
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import Allocation, Cluster
 from repro.core.base import Estimator, Feedback
@@ -40,7 +42,7 @@ from repro.util.rng import RngStream
 from repro.workload.job import Job, Workload
 
 
-@dataclass
+@dataclass(slots=True)
 class _Execution:
     """One in-flight execution attempt."""
 
@@ -51,7 +53,7 @@ class _Execution:
     outcome: ExecutionOutcome
 
 
-@dataclass
+@dataclass(slots=True)
 class _JobProgress:
     """Accumulated state of one job across attempts."""
 
@@ -145,8 +147,28 @@ class Simulation:
         self._down_intervals: List[Tuple[float, float]] = []
 
         self._events = EventQueue()
-        self._queue: List[QueuedJob] = []
+        #: Deque-backed queue: failed jobs re-enter at the *head* (§3.1) and
+        #: FCFS starts pop the head, both O(1) here versus O(n) on a list.
+        #: Policies still receive it as an indexable sequence.
+        self._queue: Deque[QueuedJob] = deque()
         self._running: Dict[int, _Execution] = {}
+        # Capability flags read once instead of per pass.
+        self._needs_running = bool(getattr(self.policy, "needs_running", False))
+        self._tail_wakes = bool(getattr(self.policy, "tail_wakes", True))
+        # The no-estimation baseline's observe() is a documented no-op: skip
+        # building Feedback and calling it per attempt.  Keyed on the method
+        # identity, not never_reduces(), so subclasses that override observe
+        # (e.g. recording estimators in tests) still get every feedback.
+        self._skip_feedback = type(self.estimator).observe is NoEstimation.observe
+        self._refresh = self.late_binding and not self.estimator.never_reduces()
+        #: Estimator memoization hook (see Estimator.estimate_version): the
+        #: late-binding refresh skips re-estimating a queue entry whose
+        #: requirement was computed at the entry's current token.
+        self._est_version_fn = self.estimator.estimate_version
+        #: Lazy-scheduling dirty flag.  A completed scheduling pass ends with
+        #: "nothing startable"; that verdict stays valid until something it
+        #: depends on changes — see the invariant in :meth:`_schedule_pass`.
+        self._sched_dirty = True
         #: Completion events of executions killed by a node fault: the heap
         #: entry cannot be removed, so the stale exec_id is skipped on pop.
         self._cancelled: Set[int] = set()
@@ -155,14 +177,13 @@ class Simulation:
         self._progress: Dict[int, _JobProgress] = {}
         self._attempts: List[AttemptRecord] = []
         self._rejected: List[Job] = []
-        # Counters kept even when the attempt trace is disabled.
-        self._counter = {
-            "attempts": 0,
-            "resource_failures": 0,
-            "spurious_failures": 0,
-            "fault_kills": 0,
-            "reduced_submissions": 0,
-        }
+        # Counters kept even when the attempt trace is disabled.  Plain
+        # attributes, not a dict: each is bumped once or twice per attempt.
+        self._n_attempts = 0
+        self._n_resource_failures = 0
+        self._n_spurious_failures = 0
+        self._n_fault_kills = 0
+        self._n_reduced_submissions = 0
         self._useful_node_seconds = 0.0
         self._wasted_node_seconds = 0.0
         self._t_last_end = 0.0
@@ -189,34 +210,55 @@ class Simulation:
                 )
             )
 
-        first_submit = math.inf
-        for job in self.workload:
-            self._events.push(job.submit_time, EventKind.ARRIVAL, job)
-            self._arrivals_pending += 1
-            first_submit = min(first_submit, job.submit_time)
+        # Bulk-heapify the full arrival list (one O(n) heapify instead of
+        # n sift-ups; the paper's trace schedules 122k arrivals up front).
+        arrivals = [
+            (job.submit_time, EventKind.ARRIVAL, job) for job in self.workload
+        ]
+        self._events.extend(arrivals)
+        self._arrivals_pending = len(arrivals)
+        first_submit = min((t for t, _, _ in arrivals), default=math.inf)
 
         if self.fault_injector is not None and self._arrivals_pending:
             # The failure process starts with the trace; the first failure
             # lands one inter-failure time after the first arrival.
             self._schedule_next_failure(first_submit)
 
-        while self._events:
-            now, kind, payload = self._events.pop()
-            if kind is EventKind.ARRIVAL:
+        # Hot loop: drains the raw heap with a local heappop — the wrapper's
+        # method call and enum conversion per event are measurable at 100k+
+        # events — and compares kinds as the ints the heap stores.
+        heap = self._events.raw_heap
+        heappop = _heappop
+        cancelled = self._cancelled
+        plain = self._obs is None and not self.record_timeline
+        ARRIVAL = int(EventKind.ARRIVAL)
+        COMPLETION = int(EventKind.COMPLETION)
+        NODE_FAILURE = int(EventKind.NODE_FAILURE)
+        while heap:
+            now, kind, _seq, payload = heappop(heap)
+            if kind == ARRIVAL:
                 self._arrivals_pending -= 1
                 self._on_arrival(now, payload)
-            elif kind is EventKind.COMPLETION:
-                if payload in self._cancelled:
+            elif kind == COMPLETION:
+                if payload in cancelled:
                     # The execution was killed by a node fault before its
                     # scheduled end; nothing to do.
-                    self._cancelled.discard(payload)
+                    cancelled.discard(payload)
                     continue
                 self._on_completion(now, payload)
-            elif kind is EventKind.NODE_FAILURE:
+            elif kind == NODE_FAILURE:
                 self._on_node_failure(now)
             else:
                 self._on_node_repair(now, payload)
-            n_started = self._schedule_pass(now)
+            if self._sched_dirty:
+                n_started = self._schedule_pass(now)
+                self._sched_dirty = False
+            else:
+                # Lazy scheduling: nothing the last (failed) pass depended on
+                # changed, so a pass now would provably start nothing.
+                n_started = 0
+            if plain:
+                continue
             if self.record_timeline:
                 self._timeline.append(
                     TimelineSample(
@@ -256,6 +298,7 @@ class Simulation:
 
     def _enqueue(self, now: float, job: Job, attempt: int, at_head: bool) -> None:
         requirement = self.estimator.estimate(job, attempt=attempt)
+        version = self._est_version_fn(job, attempt) if self._refresh else None
         if attempt > 0 and not self.cluster.fits(job.procs, requirement):
             # A *resubmission* whose refreshed estimate no machine class can
             # hold.  The job already ran (and burned node-seconds); rejecting
@@ -265,7 +308,11 @@ class Simulation:
             # in the residual corner the rejection below still applies).
             requirement = job.req_mem
         entry = QueuedJob(
-            job=job, attempt=attempt, requirement=requirement, enqueue_time=now
+            job=job,
+            attempt=attempt,
+            requirement=requirement,
+            enqueue_time=now,
+            req_version=-1 if version is None else version,
         )
         if not self.cluster.fits(job.procs, requirement):
             # No machine class can ever hold this submission; an FCFS queue
@@ -276,8 +323,15 @@ class Simulation:
                 self._obs.on_job_rejected(now, job, attempt)
             return
         if at_head:
-            self._queue.insert(0, entry)
+            self._queue.appendleft(entry)
+            self._sched_dirty = True
         else:
+            # A tail append wakes the scheduler unless the policy is a
+            # strict head-of-line discipline and the head (unchanged by this
+            # append) already failed to start.  An append to an *empty*
+            # queue is the new head and always wakes.
+            if self._tail_wakes or len(self._queue) == 0:
+                self._sched_dirty = True
             self._queue.append(entry)
         if self._obs is not None:
             self._obs.on_job_enqueued(now, job, attempt, requirement, at_head)
@@ -285,6 +339,7 @@ class Simulation:
     def _on_completion(self, now: float, exec_id: int) -> None:
         execution = self._running.pop(exec_id)
         self.cluster.release(execution.allocation)
+        self._sched_dirty = True  # capacity freed: queued work may now start
         entry = execution.entry
         outcome = execution.outcome
         job = entry.job
@@ -309,15 +364,17 @@ class Simulation:
             self._attempts.append(record)
         self._t_last_end = max(self._t_last_end, now)
 
-        feedback = Feedback(
-            job=job,
-            succeeded=outcome.succeeded,
-            requirement=entry.requirement,
-            granted=granted,
-            used=job.used_mem,  # explicit-feedback estimators read it; others ignore
-            attempt=entry.attempt,
-        )
-        self.estimator.observe(feedback)
+        if not self._skip_feedback:
+            self.estimator.observe(
+                Feedback(
+                    job=job,
+                    succeeded=outcome.succeeded,
+                    requirement=entry.requirement,
+                    granted=granted,
+                    used=job.used_mem,  # explicit estimators read it; others ignore
+                    attempt=entry.attempt,
+                )
+            )
 
         if outcome.succeeded:
             progress.completed = True
@@ -328,9 +385,9 @@ class Simulation:
         else:
             if outcome.resource_related:
                 progress.n_resource_failures += 1
-                self._counter["resource_failures"] += 1
+                self._n_resource_failures += 1
             else:
-                self._counter["spurious_failures"] += 1
+                self._n_spurious_failures += 1
             progress.wasted_node_seconds += record.node_seconds
             self._wasted_node_seconds += record.node_seconds
             # The failed hook fires after the estimator observed the attempt
@@ -350,6 +407,11 @@ class Simulation:
     def _on_node_failure(self, now: float) -> None:
         injector = self.fault_injector
         injector.stats.n_failure_events += 1
+        # Conservative wakeup: losing a node can't start FCFS/SJF work, but a
+        # backfilling reservation computed against the old capacity may shift
+        # *later*, opening a backfill window — so the verdict of the last
+        # pass is void.
+        self._sched_dirty = True
         for _ in range(injector.n_victims()):
             level = injector.choose_level(self.cluster.in_service_by_level())
             if level is None:
@@ -378,6 +440,7 @@ class Simulation:
 
     def _on_node_repair(self, now: float, level: float) -> None:
         self.cluster.repair_node(level)
+        self._sched_dirty = True  # capacity restored
         if self._obs is not None:
             self._obs.on_node_repaired(now, level)
 
@@ -392,16 +455,33 @@ class Simulation:
         cannot tell it apart from a genuine under-allocation unless explicit
         feedback (granted vs used) is available.
         """
-        candidates = [
-            (exec_id, execution)
-            for exec_id, execution in self._running.items()
-            if execution.allocation.counts.get(level, 0) > 0
-        ]
-        assert candidates, "busy count at level > 0 but no execution holds it"
+        # Single scan with a lazy fallback: the common case is exactly one
+        # execution holding nodes at the level, which needs no candidate
+        # list, no weight vector, and — crucially for reproducibility — no
+        # RNG draw (the seed engine's single-candidate branch drew nothing
+        # either).  Only on finding a second candidate is the full weighted
+        # draw built, byte-identical to the eager version's RNG usage.
         injector = self.fault_injector
-        if len(candidates) == 1:
-            exec_id, execution = candidates[0]
+        first: Optional[Tuple[int, _Execution]] = None
+        multiple = False
+        for exec_id, execution in self._running.items():
+            if execution.allocation.counts.get(level, 0) > 0:
+                if first is None:
+                    first = (exec_id, execution)
+                else:
+                    multiple = True
+                    break
+        assert first is not None, (
+            "busy count at level > 0 but no execution holds it"
+        )
+        if not multiple:
+            exec_id, execution = first
         else:
+            candidates = [
+                (exec_id, execution)
+                for exec_id, execution in self._running.items()
+                if execution.allocation.counts.get(level, 0) > 0
+            ]
             weights = [e.allocation.counts[level] for _, e in candidates]
             total = float(sum(weights))
             idx = int(
@@ -414,6 +494,7 @@ class Simulation:
         del self._running[exec_id]
         self._cancelled.add(exec_id)
         self.cluster.release(execution.allocation)
+        self._sched_dirty = True  # capacity freed (the node goes down next)
         entry = execution.entry
         job = entry.job
         progress = self._progress[job.job_id]
@@ -437,17 +518,18 @@ class Simulation:
             self._attempts.append(record)
         self._t_last_end = max(self._t_last_end, now)
 
-        self.estimator.observe(
-            Feedback(
-                job=job,
-                succeeded=False,
-                requirement=entry.requirement,
-                granted=granted,
-                used=job.used_mem,
-                attempt=entry.attempt,
+        if not self._skip_feedback:
+            self.estimator.observe(
+                Feedback(
+                    job=job,
+                    succeeded=False,
+                    requirement=entry.requirement,
+                    granted=granted,
+                    used=job.used_mem,
+                    attempt=entry.attempt,
+                )
             )
-        )
-        self._counter["fault_kills"] += 1
+        self._n_fault_kills += 1
         injector.stats.n_jobs_killed += 1
         progress.wasted_node_seconds += record.node_seconds
         self._wasted_node_seconds += record.node_seconds
@@ -458,14 +540,47 @@ class Simulation:
 
     # ----------------------------------------------------------- scheduling
     def _schedule_pass(self, now: float) -> int:
-        """Start every startable job; returns how many were started."""
+        """Start every startable job; returns how many were started.
+
+        **Lazy-scheduling invariant.**  A pass ends when the policy returns
+        ``None`` ("nothing startable").  That verdict depends only on (a) the
+        queue's contents and order, (b) the cluster's free/down capacity, and
+        (c) the estimator's learned state (via the late-binding head
+        refresh) — and, for reservation-planning policies, (d) the running
+        set.  The engine therefore *skips* the pass for an event that changed
+        none of them: it sets ``_sched_dirty`` on every enqueue (tail appends
+        under strict head-of-line policies excepted — ``Policy.tail_wakes``),
+        every allocation release, and every node failure/repair; estimator
+        state only changes on ``observe``, which the engine calls exclusively
+        on completions and kills, both of which release capacity and set the
+        flag anyway.  A skipped pass is thus guaranteed to have started
+        nothing, so results are bit-identical to running a pass per event
+        (the observer's ``on_scheduling_pass`` still fires, with
+        ``n_started=0``).
+        """
         # Building the running-jobs view costs O(#running); only policies
         # that plan reservations (backfilling) read it, so FCFS/SJF passes
-        # hand over an empty tuple.
-        needs_running = getattr(self.policy, "needs_running", False)
-        refresh = self.late_binding and not self.estimator.never_reduces()
+        # hand over an empty tuple.  The view is built once per pass and
+        # appended to as jobs start (the pass itself never removes a running
+        # job), not rebuilt per started job.
+        queue = self._queue
+        policy_select = self.policy.select
+        cluster = self.cluster
+        refresh = self._refresh
+        est_version = self._est_version_fn
+        if self._needs_running:
+            running_view = [
+                RunningJob(
+                    end_time=e.end_time,
+                    allocation=e.allocation,
+                    procs=e.entry.job.procs,
+                )
+                for e in self._running.values()
+            ]
+        else:
+            running_view = ()
         n_started = 0
-        while self._queue:
+        while queue:
             if refresh:
                 # Late binding (Figure 2 places estimation before *matching*,
                 # not before queueing): refresh the head's requirement with
@@ -474,35 +589,49 @@ class Simulation:
                 # starving the feedback loop at high load.  O(1) per pass;
                 # under FCFS every job binds at the head, so this is exact
                 # late binding for the paper's scheduling policy.
-                head = self._queue[0]
-                refreshed = self.estimator.estimate(head.job, attempt=head.attempt)
-                # A refresh may *raise* the requirement (the group backed off
-                # since enqueue); never raise it past what this cluster can
-                # ever satisfy for the job, or the queue would deadlock.
-                if refreshed != head.requirement and self.cluster.fits(
-                    head.job.procs, refreshed
-                ):
-                    head.requirement = refreshed
-            if needs_running:
-                running_view = [
-                    RunningJob(
-                        end_time=e.end_time,
-                        allocation=e.allocation,
-                        procs=e.entry.job.procs,
+                #
+                # Memoized on the estimator's version token (see
+                # Estimator.estimate_version): while the token is unchanged,
+                # re-estimating the same entry provably returns the same
+                # value, so the call — and its group resolution and ladder
+                # rounding — is skipped.
+                head = queue[0]
+                version = est_version(head.job, head.attempt)
+                if version is None or version != head.req_version:
+                    if version is not None:
+                        head.req_version = version
+                    refreshed = self.estimator.estimate(
+                        head.job, attempt=head.attempt
                     )
-                    for e in self._running.values()
-                ]
-            else:
-                running_view = ()
-            idx = self.policy.select(now, self._queue, self.cluster, running_view)
+                    # A refresh may *raise* the requirement (the group backed
+                    # off since enqueue); never raise it past what this
+                    # cluster can ever satisfy for the job, or the queue
+                    # would deadlock.
+                    if refreshed != head.requirement and cluster.fits(
+                        head.job.procs, refreshed
+                    ):
+                        head.requirement = refreshed
+            idx = policy_select(now, queue, cluster, running_view)
             if idx is None:
                 return n_started
-            entry = self._queue.pop(idx)
-            self._start(now, entry)
+            if idx == 0:
+                entry = queue.popleft()
+            else:
+                entry = queue[idx]
+                del queue[idx]
+            execution = self._start(now, entry)
+            if self._needs_running:
+                running_view.append(
+                    RunningJob(
+                        end_time=execution.end_time,
+                        allocation=execution.allocation,
+                        procs=entry.job.procs,
+                    )
+                )
             n_started += 1
         return n_started
 
-    def _start(self, now: float, entry: QueuedJob) -> None:
+    def _start(self, now: float, entry: QueuedJob) -> _Execution:
         allocation = self.cluster.allocate(entry.job.procs, entry.requirement)
         if allocation is None:
             raise RuntimeError(
@@ -513,18 +642,19 @@ class Simulation:
         end_time = now + outcome.duration
         exec_id = self._next_exec_id
         self._next_exec_id += 1
-        self._running[exec_id] = _Execution(
+        execution = _Execution(
             entry=entry,
             allocation=allocation,
             start_time=now,
             end_time=end_time,
             outcome=outcome,
         )
+        self._running[exec_id] = execution
         progress = self._progress[entry.job.job_id]
         progress.n_attempts += 1
-        self._counter["attempts"] += 1
+        self._n_attempts += 1
         if entry.requirement < entry.job.req_mem:
-            self._counter["reduced_submissions"] += 1
+            self._n_reduced_submissions += 1
         self._events.push(end_time, EventKind.COMPLETION, exec_id)
         if self._obs is not None:
             self._obs.on_job_started(
@@ -535,6 +665,7 @@ class Simulation:
                 allocation.min_capacity,
                 allocation.n_nodes,
             )
+        return execution
 
     # -------------------------------------------------------------- result
     def _build_result(self) -> SimResult:
@@ -588,17 +719,17 @@ class Simulation:
             rejected_jobs=self._rejected,
             t_first_submit=t_first,
             t_last_end=self._t_last_end,
-            n_attempts=self._counter["attempts"],
-            n_resource_failures=self._counter["resource_failures"],
-            n_spurious_failures=self._counter["spurious_failures"],
-            n_fault_kills=self._counter["fault_kills"],
+            n_attempts=self._n_attempts,
+            n_resource_failures=self._n_resource_failures,
+            n_spurious_failures=self._n_spurious_failures,
+            n_fault_kills=self._n_fault_kills,
             n_node_failures=(
                 self.fault_injector.stats.n_nodes_failed
                 if self.fault_injector is not None
                 else 0
             ),
             node_downtime_seconds=downtime,
-            n_reduced_submissions=self._counter["reduced_submissions"],
+            n_reduced_submissions=self._n_reduced_submissions,
             useful_node_seconds=self._useful_node_seconds,
             wasted_node_seconds=self._wasted_node_seconds,
             timeline=self._timeline,

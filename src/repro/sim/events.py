@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 import math
 from enum import IntEnum
-from typing import Any, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
 
 
 class EventKind(IntEnum):
@@ -24,8 +24,15 @@ class EventKind(IntEnum):
     NODE_FAILURE = 3
 
 
+#: Index-to-member table: ``_KINDS[kind]`` avoids the ``EventKind(...)``
+#: lookup-by-value call on every pop (the engine pops once per event).
+_KINDS: Tuple[EventKind, ...] = tuple(EventKind)
+
+
 class EventQueue:
     """A deterministic time/priority-ordered event heap."""
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, int, Any]] = []
@@ -38,12 +45,44 @@ class EventQueue:
         heapq.heappush(self._heap, (time, int(kind), self._seq, payload))
         self._seq += 1
 
+    def extend(self, events: Iterable[Tuple[float, EventKind, Any]]) -> None:
+        """Bulk-schedule ``(time, kind, payload)`` triples.
+
+        One :func:`heapq.heapify` over the combined entries instead of a
+        sift-up per event — O(n) rather than O(n log n), and the dominant
+        saving when seeding a simulation with its full arrival list.
+        Sequence numbers are assigned in iteration order, so the same-time
+        tie-break is identical to pushing the events one by one.
+        """
+        heap = self._heap
+        seq = self._seq
+        isfinite = math.isfinite
+        for time, kind, payload in events:
+            if not isfinite(time):
+                raise ValueError(f"event time must be finite, got {time!r}")
+            heap.append((time, int(kind), seq, payload))
+            seq += 1
+        self._seq = seq
+        heapq.heapify(heap)
+
+    @property
+    def raw_heap(self) -> List[Tuple[float, int, int, Any]]:
+        """The underlying heap list, for zero-overhead draining.
+
+        The engine's event loop pops one entry per simulated event; going
+        through :meth:`pop` costs a method call and an enum conversion per
+        event.  Callers draining via ``heapq.heappop(queue.raw_heap)`` get
+        ``(time, int(kind), seq, payload)`` entries and must not mutate the
+        list in any other way.
+        """
+        return self._heap
+
     def pop(self) -> Tuple[float, EventKind, Any]:
         """Remove and return the next ``(time, kind, payload)``."""
         if not self._heap:
             raise IndexError("pop from an empty event queue")
         time, kind, _seq, payload = heapq.heappop(self._heap)
-        return time, EventKind(kind), payload
+        return time, _KINDS[kind], payload
 
     def peek_time(self) -> Optional[float]:
         """Time of the next event, or None when empty."""

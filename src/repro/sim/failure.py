@@ -13,7 +13,7 @@ needlessly; the false-positive benchmark quantifies that effect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -22,8 +22,7 @@ from repro.util.validation import check_in_range
 from repro.workload.job import Job
 
 
-@dataclass(frozen=True)
-class ExecutionOutcome:
+class ExecutionOutcome(NamedTuple):
     """What happened to one execution attempt.
 
     ``duration`` is how long the attempt occupied its nodes (the full runtime

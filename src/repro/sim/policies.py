@@ -22,21 +22,29 @@ from repro.cluster.cluster import Allocation, Cluster
 from repro.workload.job import Job
 
 
-@dataclass
+@dataclass(slots=True)
 class QueuedJob:
     """A queue entry: one pending submission attempt.
 
     ``requirement`` is fixed at enqueue time — the estimator runs at
     submission (Figure 2's pipeline), not at every scheduling pass.
+
+    ``req_version`` is engine bookkeeping for the late-binding refresh: the
+    engine's estimator-state version (bumped on every ``observe``) at which
+    ``requirement`` was last computed.  While the version is unchanged a
+    re-estimate is provably a no-op — ``estimate`` is idempotent between
+    ``observe`` calls — so the engine skips it (see
+    ``Simulation._schedule_pass``).
     """
 
     job: Job
     attempt: int
     requirement: float
     enqueue_time: float
+    req_version: int = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RunningJob:
     """What a policy may know about a running job."""
 
@@ -52,6 +60,13 @@ class Policy(abc.ABC):
     #: Whether :meth:`select` reads the running-jobs view.  The engine skips
     #: building it for policies that don't (a per-pass O(#running) saving).
     needs_running: bool = False
+    #: Whether appending a job to the *tail* of a non-empty queue can enable
+    #: a start that was impossible before.  True for any policy that may
+    #: select past the head (SJF, backfilling).  Strict head-of-line
+    #: disciplines set it False, letting the engine skip the wakeup (and the
+    #: whole scheduling pass) for tail arrivals while the head is blocked —
+    #: see the lazy-scheduling invariant in ``engine._schedule_pass``.
+    tail_wakes: bool = True
 
     @abc.abstractmethod
     def select(
@@ -79,6 +94,7 @@ class Fcfs(Policy):
     """
 
     name = "fcfs"
+    tail_wakes = False  # only the head can ever start
 
     def select(
         self,
@@ -115,11 +131,18 @@ class ShortestJobFirst(Policy):
     ) -> Optional[int]:
         if not queue:
             return None
-        idx = min(
-            range(len(queue)),
-            key=lambda i: (queue[i].job.runtime_estimate, queue[i].enqueue_time, i),
-        )
-        entry = queue[idx]
+        # One forward scan (queues may be deque-backed: O(1) iteration,
+        # O(n) random access).  Strict "<" keeps the earliest index on ties,
+        # matching the old (estimate, enqueue_time, index) ordering.
+        idx = 0
+        entry = None
+        best = None
+        for i, cand in enumerate(queue):
+            key = (cand.job.runtime_estimate, cand.enqueue_time)
+            if best is None or key < best:
+                best = key
+                idx = i
+                entry = cand
         if cluster.can_allocate(entry.job.procs, entry.requirement):
             return idx
         return None
@@ -166,8 +189,9 @@ class EasyBackfilling(Policy):
             # rejects such jobs at submission, so this is unreachable in
             # practice, but backfilling everything else remains safe.
             shadow = float("inf")
-        for idx in range(1, len(queue)):
-            cand = queue[idx]
+        for idx, cand in enumerate(queue):
+            if idx == 0:
+                continue  # the head holds the reservation
             if not cluster.can_allocate(cand.job.procs, cand.requirement):
                 continue
             if now + cand.job.runtime_estimate <= shadow:

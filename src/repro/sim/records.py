@@ -8,12 +8,29 @@ container every metric and experiment consumes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.workload.job import Job
+
+
+def _canon(value) -> str:
+    """Bit-exact canonical text for fingerprint hashing.
+
+    Floats use ``float.hex()`` so two values hash equally iff they are the
+    same IEEE-754 double — the whole point of the engine fingerprint is to
+    catch optimizations that change results by even one ULP.
+    """
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, bool) or isinstance(value, int) or isinstance(value, str):
+        return str(value)
+    if isinstance(value, tuple):
+        return "(" + ",".join(_canon(v) for v in value) + ")"
+    raise TypeError(f"unhashable fingerprint field type: {type(value)!r}")
 
 
 class TimelineSample(NamedTuple):
@@ -32,9 +49,14 @@ class TimelineSample(NamedTuple):
     down_nodes: int = 0
 
 
-@dataclass(frozen=True)
-class AttemptRecord:
-    """One execution attempt of one job."""
+class AttemptRecord(NamedTuple):
+    """One execution attempt of one job.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the engine materializes
+    one per attempt on the completion hot path, and tuple construction skips
+    the per-field ``object.__setattr__`` a frozen dataclass pays.  Field
+    access, equality and keyword construction are unchanged.
+    """
 
     job_id: int
     attempt: int
@@ -60,9 +82,12 @@ class AttemptRecord:
         return self.duration * self.procs
 
 
-@dataclass(frozen=True)
-class JobSummary:
-    """Outcome of one job across all its attempts."""
+class JobSummary(NamedTuple):
+    """Outcome of one job across all its attempts.
+
+    A ``NamedTuple`` for the same reason as :class:`AttemptRecord`: one is
+    built per job when the result is assembled.
+    """
 
     job: Job
     first_submit: float
@@ -177,6 +202,78 @@ class SimResult:
 
     def wait_times(self) -> np.ndarray:
         return np.array([s.wait_time for s in self.summaries if s.completed])
+
+    def fingerprint(self) -> str:
+        """SHA-256 digest of everything the run produced, bit-exactly.
+
+        Two runs fingerprint equally iff every attempt record, job summary,
+        rejected job, counter, and timeline sample is identical down to the
+        last IEEE-754 bit (floats hash via ``float.hex()``).  This is the
+        regression gate for engine optimizations: the optimized engine must
+        reproduce the seed engine's fingerprint on the reference slices (see
+        ``tests/sim/test_engine_fingerprints.py``).
+        """
+        h = hashlib.sha256()
+
+        def put(*fields) -> None:
+            h.update(";".join(_canon(f) for f in fields).encode())
+            h.update(b"\n")
+
+        put(
+            "header",
+            self.workload_name,
+            self.cluster_name,
+            self.estimator_name,
+            self.policy_name,
+            self.total_nodes,
+            self.t_first_submit,
+            self.t_last_end,
+            self.n_attempts,
+            self.n_resource_failures,
+            self.n_spurious_failures,
+            self.n_fault_kills,
+            self.n_node_failures,
+            self.node_downtime_seconds,
+            self.n_reduced_submissions,
+            self.useful_node_seconds,
+            self.wasted_node_seconds,
+        )
+        for a in self.attempts:
+            put(
+                "attempt",
+                a.job_id,
+                a.attempt,
+                a.submit_time,
+                a.start_time,
+                a.end_time,
+                a.procs,
+                a.requirement,
+                a.granted,
+                a.succeeded,
+                a.resource_failure,
+                a.reduced,
+                a.allocation,
+            )
+        for s in self.summaries:
+            put(
+                "summary",
+                s.job.job_id,
+                s.first_submit,
+                s.start_time,
+                s.end_time,
+                s.n_attempts,
+                s.n_resource_failures,
+                s.completed,
+                s.final_requirement,
+                s.final_granted,
+                s.reduced,
+                s.wasted_node_seconds,
+            )
+        for job in self.rejected_jobs:
+            put("rejected", job.job_id)
+        for t in self.timeline:
+            put("timeline", t.time, t.queue_length, t.busy_nodes, t.down_nodes)
+        return h.hexdigest()
 
     def summary_table(self) -> str:
         """Human-readable one-run report."""

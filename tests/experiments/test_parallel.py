@@ -4,12 +4,16 @@ import pickle
 
 import pytest
 
+from concurrent.futures import ProcessPoolExecutor
+
 from repro.experiments.cache import SweepCache, resolve_cache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     SweepError,
+    _worker_init,
     execute_spec,
     run_sweep,
+    simulate_spec,
     sweep_to_load_sweep,
 )
 from repro.experiments.specs import (
@@ -18,6 +22,8 @@ from repro.experiments.specs import (
     PolicySpec,
     RunSpec,
     WorkloadSpec,
+    clear_materialization_caches,
+    materialization_cache_info,
 )
 
 CFG = ExperimentConfig(n_jobs=800, loads=(0.5, 0.9))
@@ -79,7 +85,7 @@ class TestRunSweepParity:
     def test_parallel_matches_serial_point_for_point(self):
         specs = small_specs(alpha=2.0, beta=0.0) + small_specs("none")
         serial = run_sweep(specs, max_workers=1)
-        parallel = run_sweep(specs, max_workers=2)
+        parallel = run_sweep(specs, max_workers=2, oversubscribe=True)
         assert serial.points() == parallel.points()
         assert parallel.max_workers == 2
         # Identical LoadSweep series either way.
@@ -89,7 +95,7 @@ class TestRunSweepParity:
 
     def test_outcomes_keep_spec_order_and_wall_time(self):
         specs = small_specs("none")
-        report = run_sweep(specs, max_workers=2)
+        report = run_sweep(specs, max_workers=2, oversubscribe=True)
         assert [o.spec for o in report.outcomes] == specs
         assert all(o.wall_time > 0 for o in report.outcomes)
         assert report.n_runs == len(specs)
@@ -102,7 +108,7 @@ class TestRunSweepParity:
             estimator=EstimatorSpec(name="no-such-estimator"),
             label="doomed",
         )
-        report = run_sweep(specs + [bad], max_workers=2)
+        report = run_sweep(specs + [bad], max_workers=2, oversubscribe=True)
         assert report.n_errors == 1
         assert [o.ok for o in report.outcomes] == [True, True, False]
         assert "no-such-estimator" in report.outcomes[-1].error
@@ -158,3 +164,94 @@ class TestSweepCache:
         assert resolve_cache() is None
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
         assert resolve_cache().directory == tmp_path / "env"
+
+
+class TestWorkerMaterializationCache:
+    """The per-process spec caches: N specs over one trace parse it once."""
+
+    def _shared_workload_specs(self, loads=(0.4, 0.6, 0.8)):
+        return [
+            RunSpec(
+                workload=WorkloadSpec(n_jobs=200, seed=3, load=load),
+                cluster=ClusterSpec(second_tier_mem=24.0),
+                estimator=EstimatorSpec(name="none"),
+                label=f"cachetest@{load:g}",
+            )
+            for load in loads
+        ]
+
+    def test_repeated_base_workload_parses_once_per_process(self):
+        clear_materialization_caches()
+        specs = self._shared_workload_specs()
+        for s in specs:
+            simulate_spec(s)
+        info = materialization_cache_info()
+        # Three load points over one trace: the base workload is generated
+        # exactly once; each distinct load is one scaled-workload miss.
+        assert info["base_workload_misses"] == 1
+        assert info["base_workload_hits"] == len(specs) - 1
+        assert info["scaled_workload_misses"] == len(specs)
+        assert info["scaled_workload_hits"] == 0
+        # One shared cluster, too (Simulation.run resets it per run).
+        assert info["cluster_misses"] == 1
+        assert info["cluster_hits"] == len(specs) - 1
+
+    def test_repeated_spec_is_a_scaled_workload_hit(self):
+        clear_materialization_caches()
+        spec = self._shared_workload_specs()[0]
+        first = simulate_spec(spec)
+        again = simulate_spec(spec)
+        info = materialization_cache_info()
+        assert info["scaled_workload_hits"] == 1
+        # Re-using the materialized workload/cluster must not change results.
+        assert first == again
+
+    def test_pool_worker_parses_repeated_workload_exactly_once(self):
+        # Pollute the parent's caches first: under the fork start method a
+        # worker inherits parent memory, so only the pool initializer's
+        # cache reset makes the worker's counters start from zero.
+        specs = self._shared_workload_specs()
+        for s in specs:
+            simulate_spec(s)
+        try:
+            pool = ProcessPoolExecutor(max_workers=1, initializer=_worker_init)
+            with pool:
+                for s in specs:
+                    assert pool.submit(execute_spec, s).result().ok
+                info = pool.submit(materialization_cache_info).result()
+        except (OSError, ImportError, PermissionError):
+            pytest.skip("no process pool in this environment")
+        # The single worker executed every spec: one parse, the rest hits.
+        assert info["base_workload_misses"] == 1
+        assert info["base_workload_hits"] == len(specs) - 1
+        assert info["cluster_misses"] == 1
+
+
+class TestSerialFallback:
+    def test_oversubscribed_request_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        specs = small_specs("none")
+        report = run_sweep(specs, max_workers=8)
+        assert report.max_workers == 1  # what actually ran
+        assert report.requested_workers == 8
+        assert report.host_cpus == 1
+        assert report.pool_spinup_time == 0.0  # no pool was built
+        assert len(report.points()) == len(specs)
+
+    def test_oversubscribe_flag_forces_a_pool(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        specs = small_specs("none")
+        report = run_sweep(specs, max_workers=2, oversubscribe=True)
+        assert report.max_workers == 2
+        # Either a real pool spun up (and its cost was accounted separately)
+        # or the environment offers no pool and the executor degraded
+        # in-process — both keep the results intact.
+        assert len(report.points()) == len(specs)
+
+    def test_within_cpu_budget_keeps_the_pool(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 64)
+        specs = small_specs("none")
+        report = run_sweep(specs, max_workers=2)
+        assert report.max_workers == 2
+        assert report.host_cpus == 64
+        assert len(report.points()) == len(specs)

@@ -107,14 +107,14 @@ class TestWorkerDeath:
             spec(load=0.7),
         ]
         cache = SweepCache(tmp_path / "cache")
-        report = run_sweep(specs, max_workers=2, cache=cache)
+        report = run_sweep(specs, max_workers=2, oversubscribe=True, cache=cache)
         assert sentinel.exists(), "the kill never fired"
         assert report.n_errors == 0
         assert report.n_pool_rebuilds >= 1
         assert len(report.points()) == 4
         # Every result (pre- and post-crash) was committed incrementally:
         # a rerun is pure cache hits and point-for-point identical.
-        rerun = run_sweep(specs, max_workers=2, cache=SweepCache(tmp_path / "cache"))
+        rerun = run_sweep(specs, max_workers=2, oversubscribe=True, cache=SweepCache(tmp_path / "cache"))
         assert rerun.n_cache_hits == 4
         assert rerun.points() == report.points()
 
@@ -129,7 +129,7 @@ class TestWorkerDeath:
         # quarantined in-process run cannot kill the test process itself.
         sentinel = tmp_path / "killed"
         killer = spec("kill-worker-once", load=0.5, sentinel=str(sentinel))
-        report = run_sweep([spec(load=0.4), killer], max_workers=2)
+        report = run_sweep([spec(load=0.4), killer], max_workers=2, oversubscribe=True)
         # First worker crash creates the sentinel; any resubmission (pool or
         # quarantine) then constructs cleanly.
         assert report.n_errors == 0
@@ -142,7 +142,7 @@ class TestWorkerDeath:
             raise OSError("no /dev/shm in this sandbox")
 
         monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", no_pool)
-        report = run_sweep([spec(load=0.4), spec(load=0.6)], max_workers=2)
+        report = run_sweep([spec(load=0.4), spec(load=0.6)], max_workers=2, oversubscribe=True)
         assert report.n_errors == 0
         assert len(report.points()) == 2
 
@@ -158,7 +158,7 @@ class TestWorkerDeath:
 
         monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", broken)
         with pytest.raises(RuntimeError, match="not an environment problem"):
-            run_sweep([spec(load=0.4), spec(load=0.6)], max_workers=2)
+            run_sweep([spec(load=0.4), spec(load=0.6)], max_workers=2, oversubscribe=True)
 
 
 class TestRetries:
@@ -173,7 +173,7 @@ class TestRetries:
         flaky = spec("flaky-once", sentinel=str(tmp_path / "f2"))
         report = run_sweep(
             [spec(load=0.4), flaky],
-            max_workers=2,
+            max_workers=2, oversubscribe=True,
             max_retries=2,
             retry_backoff=0.0,
         )
@@ -199,7 +199,7 @@ class TestRetries:
         slow = spec("slow-once", sentinel=str(tmp_path / "s1"), delay=15.0)
         report = run_sweep(
             [slow, spec(load=0.4)],
-            max_workers=2,
+            max_workers=2, oversubscribe=True,
             timeout=1.0,
             max_retries=1,
             retry_backoff=0.0,
@@ -211,7 +211,7 @@ class TestRetries:
     @fork_only
     def test_timeout_without_retries_reports_error(self, tmp_path):
         slow = spec("slow-once", sentinel=str(tmp_path / "s2"), delay=15.0)
-        report = run_sweep([slow, spec(load=0.4)], max_workers=2, timeout=1.0)
+        report = run_sweep([slow, spec(load=0.4)], max_workers=2, oversubscribe=True, timeout=1.0)
         assert report.n_timeouts == 1
         assert report.n_errors == 1
         timed_out = [o for o in report.outcomes if not o.ok]

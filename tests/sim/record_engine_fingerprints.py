@@ -1,0 +1,47 @@
+"""Record the engine's reference-slice fingerprints to tests/data/.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/sim/record_engine_fingerprints.py
+
+The recorded digests are the regression baseline for
+``tests/sim/test_engine_fingerprints.py`` — regenerate them only when an
+engine behavior change is intended, and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from sim.engine_reference import REFERENCE_SLICES, run_slice  # noqa: E402
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parents[2]
+    out_path = repo_root / "tests" / "data" / "engine_fingerprints.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    fingerprints = {}
+    for name, spec in REFERENCE_SLICES.items():
+        result = run_slice(spec)
+        fingerprints[name] = result.fingerprint()
+        print(f"{name:32s} {fingerprints[name][:16]}…  "
+              f"({result.n_jobs} jobs, {result.n_attempts} attempts)")
+    doc = {
+        "comment": (
+            "SimResult.fingerprint() per reference slice; regenerate with "
+            "tests/sim/record_engine_fingerprints.py only for intended "
+            "behavior changes"
+        ),
+        "fingerprints": fingerprints,
+    }
+    out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Bit-identical regression gate for the optimized engine hot path.
+
+Every optimization of the simulation engine (lazy scheduling passes,
+estimate-version memoization, allocation fast paths, raw-heap draining, …)
+is admissible only if it is *behaviorally invisible*: each reference slice
+in :mod:`tests.sim.engine_reference` must still produce the exact
+``SimResult.fingerprint()`` recorded in ``tests/data/engine_fingerprints.json``
+before the optimizations landed.  The digest covers per-job summaries and
+per-attempt records via ``float.hex()``, so even a last-bit float deviation
+or a reordered attempt fails the gate.
+
+The observer-attached variant pins a second invariant: observability is
+passive.  Wiring a (counting) observer into the run must not perturb the
+simulation — same digest with the observer on and off.
+
+If a PR *intends* to change engine behavior, regenerate the digests with
+``PYTHONPATH=src python tests/sim/record_engine_fingerprints.py`` and call
+the change out in the PR description.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import CounterObserver
+
+from tests.sim.engine_reference import REFERENCE_SLICES, run_slice
+
+_DATA_PATH = Path(__file__).resolve().parents[1] / "data" / "engine_fingerprints.json"
+RECORDED = json.loads(_DATA_PATH.read_text(encoding="utf-8"))["fingerprints"]
+
+
+def test_every_reference_slice_is_recorded():
+    assert set(RECORDED) == set(REFERENCE_SLICES)
+
+
+@pytest.mark.parametrize("name", sorted(REFERENCE_SLICES))
+def test_fingerprint_matches_recorded(name):
+    result = run_slice(REFERENCE_SLICES[name])
+    assert result.fingerprint() == RECORDED[name], (
+        f"slice {name!r} diverged from the recorded seed fingerprint — an "
+        f"engine change altered simulation behavior (regenerate the recording "
+        f"only if the change is intended)"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    # One slice per policy/feature family keeps the observer pass cheap while
+    # still covering every code path an observer hooks into.
+    ["fig5-fcfs-successive", "fig5-sjf-none", "fig5-backfilling-successive",
+     "faults-fcfs-successive"],
+)
+def test_observer_does_not_perturb_fingerprint(name):
+    observer = CounterObserver()
+    result = run_slice(REFERENCE_SLICES[name], observer=observer)
+    assert result.fingerprint() == RECORDED[name], (
+        f"slice {name!r} changed digest with an observer attached — "
+        f"observability must be passive"
+    )
+    assert observer.snapshot()  # the observer did actually see events

@@ -72,6 +72,13 @@ class TestSimulate:
         text = prom.read_text()
         assert "# TYPE repro_utilization_effective gauge" in text
 
+    def test_profile_prints_cumulative_top(self, capsys):
+        assert main(["simulate", "--jobs", "500", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (top 20 by cumulative time)" in out
+        assert "cumulative" in out
+        assert "utilization:" in out  # the run report still prints
+
 
 class TestStatsAndTrace:
     def test_stats_prints_observability_report(self, capsys):
