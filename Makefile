@@ -4,7 +4,7 @@ PYTHON ?= python
 # Pool size for the parallel sweep benchmarks (sweep-bench target).
 REPRO_BENCH_WORKERS ?= 4
 
-.PHONY: install test bench bench-full sweep-bench engine-bench faults-bench obs-bench examples artifacts clean
+.PHONY: install test bench bench-full sweep-bench sweep-tests engine-bench faults-bench obs-bench examples artifacts clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -19,8 +19,15 @@ bench:
 bench-full:
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# The sweep experiments through the multi-process executor + result cache.
+# Sweep throughput gate: the Figure 5 grid end-to-end through the pool
+# (shared-memory fan-out + batched execution), written machine-readably to
+# benchmarks/results/BENCH_sweep.json; fails if throughput drops >10% below
+# the recorded columnar-data-plane baseline.
 sweep-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/sweep_bench.py --workers $(REPRO_BENCH_WORKERS)
+
+# The sweep experiments through the multi-process executor + result cache.
+sweep-tests:
 	REPRO_BENCH_WORKERS=$(REPRO_BENCH_WORKERS) $(PYTHON) -m pytest \
 		benchmarks/test_sweep_parallel.py \
 		benchmarks/test_fig5_utilization.py \

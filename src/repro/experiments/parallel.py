@@ -68,8 +68,20 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.cache import SweepCache
 from repro.experiments.runner import LoadSweep, SweepPoint, run_point
-from repro.experiments.specs import RunSpec, clear_materialization_caches
+from repro.experiments.shm import SharedBaseStore
+from repro.experiments.specs import (
+    RunSpec,
+    clear_materialization_caches,
+    install_shared_columns,
+    materialize_base_workload,
+    trim_materialized_workloads,
+)
 from repro.sim.metrics import mean_slowdown, utilization
+
+try:  # POSIX-only; on platforms without it RSS reports as 0
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None  # type: ignore[assignment]
 
 logger = logging.getLogger("repro.sweep")
 
@@ -96,6 +108,10 @@ class RunOutcome:
     #: Times this spec was re-executed after a failure or timeout before the
     #: recorded result landed (0 for first-try successes and cache hits).
     retries: int = 0
+    #: ``ru_maxrss`` (KB) of the process that executed this run, sampled as
+    #: the run finished — the sweep-level peak is the memory a worker
+    #: actually needs (0 for cache hits and platforms without getrusage).
+    worker_rss_kb: int = 0
 
     @property
     def ok(self) -> bool:
@@ -129,8 +145,8 @@ def simulate_spec(spec: RunSpec) -> SweepPoint:
     )
 
 
-def _worker_init() -> None:
-    """Process-pool initializer: give each worker its own clean spec caches.
+def _worker_init(shared_handles=None) -> None:
+    """Process-pool initializer: clean spec caches, then shared-base handles.
 
     :mod:`repro.experiments.specs` memoizes materialized workloads and
     clusters per process, keyed by the same provenance fields the spec
@@ -138,13 +154,27 @@ def _worker_init() -> None:
     worker.  Under the ``fork`` start method a fresh worker would *inherit*
     the parent's memos and hit counters; clearing them at worker start makes
     the cache (and its accounting) genuinely per-worker and bounded.
+
+    ``shared_handles`` are the parent's published base-workload columns
+    (:mod:`repro.experiments.shm`); installing them lets this worker attach
+    zero-copy views instead of re-deriving each base trace.  Installation
+    happens unconditionally (``None`` installs nothing) so handles from a
+    previous pool can never leak across rebuilds.
     """
     clear_materialization_caches()
+    install_shared_columns(shared_handles)
 
 
 def _worker_warmup() -> int:
     """No-op shipped to freshly spawned workers to force/measure spin-up."""
     return os.getpid()
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set size in KB (0 where unsupported)."""
+    if _resource is None:
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
 
 
 def execute_spec(spec: RunSpec) -> RunOutcome:
@@ -156,14 +186,38 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     t0 = time.perf_counter()
     try:
         point = simulate_spec(spec)
-        return RunOutcome(spec=spec, point=point, wall_time=time.perf_counter() - t0)
+        return RunOutcome(
+            spec=spec,
+            point=point,
+            wall_time=time.perf_counter() - t0,
+            worker_rss_kb=_peak_rss_kb(),
+        )
     except Exception:
         return RunOutcome(
             spec=spec,
             point=None,
             error=traceback.format_exc(),
             wall_time=time.perf_counter() - t0,
+            worker_rss_kb=_peak_rss_kb(),
         )
+    finally:
+        # Keep at most one materialized job list live per process: the memo
+        # caches keep the (cheap) columns, so peak RSS stays near one trace.
+        trim_materialized_workloads()
+
+
+def execute_batch(specs: Sequence[RunSpec]) -> List[RunOutcome]:
+    """Run a batch of specs in this process, one outcome per spec, in order.
+
+    The batch is the pool scheduling unit (see ``_PoolExecution``): specs
+    sharing a base workload travel together, so one worker amortizes a
+    single base materialization (or shared-memory attach) across the whole
+    batch and the executor pays one future round-trip instead of one per
+    spec.  Execution semantics are per-spec and unchanged — each spec's
+    outcome captures its own error/wall-time exactly as ``execute_spec``
+    would have.
+    """
+    return [execute_spec(spec) for spec in specs]
 
 
 # --------------------------------------------------------------- resilience
@@ -362,6 +416,16 @@ class SweepReport:
     @property
     def runs_per_second(self) -> float:
         return self.n_runs / self.wall_time if self.wall_time > 0 else float("inf")
+
+    @property
+    def peak_worker_rss_kb(self) -> int:
+        """Largest ``ru_maxrss`` (KB) any executing process reported.
+
+        On the pool path this is worker memory; on the serial path it is the
+        parent's own peak.  0 when every point was served from cache or the
+        platform lacks ``getrusage``.
+        """
+        return max((o.worker_rss_kb for o in self.outcomes), default=0)
 
     def points(self) -> List[SweepPoint]:
         """All points, in spec order; raises :class:`SweepError` with every
@@ -594,14 +658,37 @@ def _execute_all(
     return results
 
 
+#: Ceiling on how many specs ride in one pool batch: large enough to
+#: amortize the future round-trip and the worker's base materialization,
+#: small enough that the sliding window still load-balances a short sweep
+#: across every worker.
+_MAX_BATCH = 4
+
+
 class _PoolExecution:
     """One parallel ``_execute_all``: sliding-window futures over a pool.
+
+    The scheduling unit is a **batch**: a list of spec indices sharing one
+    ``WorkloadSpec.base_key()``, sized so the grid spreads evenly over the
+    workers (``_initial_batches``).  Batching amortizes the per-future
+    round-trip and steers same-trace specs to the same worker (whose
+    bounded materialization caches then actually hit); per-spec semantics
+    are untouched because workers run batch members independently
+    (``execute_batch``) and every retry, timeout, crash resubmission, or
+    quarantine is handled on singleton batches.  With a per-spec ``timeout``
+    every batch is a singleton from the start — a timeout measures one run,
+    never a convoy.
 
     At most ``workers`` futures are in flight at a time, so every pending
     future is (approximately) *running*, which makes the per-spec timeout a
     measure of actual runtime rather than queue wait.  All mutable state
     lives here so broken-pool recovery can reason about exactly which specs
     are unfinished.
+
+    Before building the pool the parent materializes each distinct base
+    workload once and publishes its columns (:mod:`repro.experiments.shm`);
+    the pool initializer hands workers zero-copy handles, and ``run``
+    unlinks every segment in its ``finally`` — crashes included.
     """
 
     def __init__(
@@ -622,8 +709,8 @@ class _PoolExecution:
         self.finish = finish
         self.stats = stats
         n = len(specs)
-        self.todo: deque = deque(range(n))
-        self.pending: Dict[Future, int] = {}
+        self.todo: deque = deque(self._initial_batches())
+        self.pending: Dict[Future, List[int]] = {}
         self.started: Dict[Future, float] = {}
         self.retries_used = [0] * n
         #: Pool crashes a spec was in flight for.  A spec exceeding the
@@ -635,18 +722,65 @@ class _PoolExecution:
         self.not_before = [0.0] * n
         self.pool: Optional[ProcessPoolExecutor] = None
         self.backoff_rng = random.Random(0x0B0FF)
+        self.shm_store = SharedBaseStore()
+
+    def _initial_batches(self) -> List[List[int]]:
+        """Spec indices grouped by base workload, in near-spec order."""
+        if self.timeout is not None:
+            return [[j] for j in range(len(self.specs))]
+        groups: Dict[Tuple, List[int]] = {}
+        for j, spec in enumerate(self.specs):
+            groups.setdefault(spec.workload.base_key(), []).append(j)
+        batches: List[List[int]] = []
+        for indices in groups.values():
+            # ~2 batches per worker from each group keeps the window busy
+            # while the last batches drain.
+            size = max(
+                1, min(_MAX_BATCH, -(-len(indices) // (2 * self.workers)))
+            )
+            batches.extend(
+                indices[i : i + size] for i in range(0, len(indices), size)
+            )
+        batches.sort(key=lambda batch: batch[0])
+        return batches
 
     # Quarantine after more pool crashes than plausible for a bystander.
     @property
     def crash_quarantine(self) -> int:
         return max(1, self.max_retries)
 
-    def run(self) -> None:
-        self.pool = self._new_pool()
-        if self.pool is None:
-            self._drain_in_process()
-            return
+    def _publish_bases(self) -> None:
+        """Materialize each distinct base once and publish its columns.
+
+        Failure here must never fail the sweep: workers fall back to
+        materializing their own bases exactly as before.
+        """
         try:
+            seen = set()
+            for spec in self.specs:
+                key = spec.workload.base_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.shm_store.publish(
+                    key, materialize_base_workload(spec.workload)
+                )
+        except Exception as exc:
+            logger.warning(
+                "publishing shared base workloads failed (%s); workers will "
+                "materialize their own",
+                exc,
+            )
+            self.shm_store.close()
+            self.shm_store.handles.clear()  # never hand out dead segments
+
+    def run(self) -> None:
+        try:
+            self._publish_bases()
+            self.pool = self._new_pool()
+            if self.pool is None:
+                self._drain_in_process()
+                return
             while self.todo or self.pending:
                 self._submit_ready()
                 if self.pending:
@@ -654,13 +788,16 @@ class _PoolExecution:
         finally:
             if self.pool is not None:
                 self.pool.shutdown(wait=False, cancel_futures=True)
+            self.shm_store.close()
 
     # ------------------------------------------------------------- plumbing
     def _new_pool(self) -> Optional[ProcessPoolExecutor]:
         t0 = time.perf_counter()
         try:
             pool = ProcessPoolExecutor(
-                max_workers=self.workers, initializer=_worker_init
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(tuple(self.shm_store.handles),),
             )
             # Warm-up barrier: force workers to spawn (running _worker_init)
             # *now*, so (a) spin-up cost is accounted separately instead of
@@ -683,79 +820,91 @@ class _PoolExecution:
             self.pool.shutdown(wait=False, cancel_futures=True)
             self.pool = None
         while self.todo:
-            j = self.todo.popleft()
-            outcome = _run_with_retries(
-                self.specs[j],
-                self.max_retries - self.retries_used[j],
-                self.retry_backoff,
-                self.stats,
-                self.backoff_rng,
-            )
-            if self.retries_used[j]:
-                outcome = replace(
-                    outcome, retries=outcome.retries + self.retries_used[j]
-                )
-            self.finish(j, outcome)
-
-    def _submit_ready(self) -> None:
-        now = time.monotonic()
-        for _ in range(len(self.todo)):
-            if not self.todo or len(self.pending) >= self.workers:
-                break
-            j = self.todo[0]
-            if self.not_before[j] > now:
-                self.todo.rotate(-1)  # backing off; look at the next spec
-                continue
-            self.todo.popleft()
-            if self.crashes[j] > self.crash_quarantine:
-                logger.warning(
-                    "spec %s was in flight for %d pool crashes; quarantining "
-                    "to in-process execution",
-                    self.specs[j].label or f"#{j}",
-                    self.crashes[j],
-                )
+            for j in self.todo.popleft():
                 outcome = _run_with_retries(
-                    self.specs[j], 0, self.retry_backoff, self.stats
+                    self.specs[j],
+                    self.max_retries - self.retries_used[j],
+                    self.retry_backoff,
+                    self.stats,
+                    self.backoff_rng,
                 )
                 if self.retries_used[j]:
                     outcome = replace(
                         outcome, retries=outcome.retries + self.retries_used[j]
                     )
                 self.finish(j, outcome)
+
+    def _run_quarantined(self, j: int) -> None:
+        logger.warning(
+            "spec %s was in flight for %d pool crashes; quarantining "
+            "to in-process execution",
+            self.specs[j].label or f"#{j}",
+            self.crashes[j],
+        )
+        outcome = _run_with_retries(
+            self.specs[j], 0, self.retry_backoff, self.stats
+        )
+        if self.retries_used[j]:
+            outcome = replace(
+                outcome, retries=outcome.retries + self.retries_used[j]
+            )
+        self.finish(j, outcome)
+
+    def _submit_ready(self) -> None:
+        now = time.monotonic()
+        for _ in range(len(self.todo)):
+            if not self.todo or len(self.pending) >= self.workers:
+                break
+            batch = self.todo[0]
+            if max(self.not_before[j] for j in batch) > now:
+                self.todo.rotate(-1)  # backing off; look at the next batch
+                continue
+            self.todo.popleft()
+            # Quarantined members run in-process (crash resubmissions are
+            # singletons, so in practice this drains the whole batch).
+            hot = [j for j in batch if self.crashes[j] > self.crash_quarantine]
+            for j in hot:
+                self._run_quarantined(j)
+            batch = [j for j in batch if self.crashes[j] <= self.crash_quarantine]
+            if not batch:
                 continue
             try:
-                future = self.pool.submit(execute_spec, self.specs[j])
+                future = self.pool.submit(
+                    execute_batch, [self.specs[j] for j in batch]
+                )
             except BrokenExecutor as exc:
                 # The break can surface at submit time (a worker died between
                 # wait rounds) — same recovery as a break seen at result time.
-                self._recover_broken_pool(j, exc)
+                self._recover_broken_pool(batch, exc)
                 return
             except _POOL_UNAVAILABLE as exc:
                 logger.warning(
                     "submission to the process pool failed (%s); running the "
                     "remaining %d specs in-process",
                     exc,
-                    len(self.todo) + 1,
+                    sum(len(b) for b in self.todo) + len(batch),
                 )
-                self.todo.appendleft(j)
+                self.todo.appendleft(batch)
                 self._recall_pending()
                 self._drain_in_process()
                 return
-            self.pending[future] = j
+            self.pending[future] = batch
             self.started[future] = time.monotonic()
         if not self.pending and self.todo:
             # Everything left is backing off; sleep until the earliest is due.
-            soonest = min(self.not_before[j] for j in self.todo)
+            soonest = min(
+                max(self.not_before[j] for j in batch) for batch in self.todo
+            )
             delay = soonest - time.monotonic()
             if delay > 0:
                 time.sleep(min(delay, 1.0))
 
     def _recall_pending(self) -> None:
         """Move every pending index back onto ``todo`` (pool is dead)."""
-        recalled = sorted(self.pending.values())
+        recalled = sorted(j for batch in self.pending.values() for j in batch)
         self.pending.clear()
         self.started.clear()
-        self.todo.extendleft(reversed(recalled))
+        self.todo.extendleft([j] for j in reversed(recalled))
 
     def _wait_round(self) -> None:
         wait_timeout = None
@@ -771,29 +920,44 @@ class _PoolExecution:
         for future in done:
             if future not in self.pending:
                 continue  # cleared by broken-pool recovery earlier this round
-            j = self.pending.pop(future)
+            batch = self.pending.pop(future)
             t_submit = self.started.pop(future)
             try:
-                outcome = future.result()
+                outcomes = list(future.result())
             except BrokenExecutor as exc:
-                self._recover_broken_pool(j, exc)
+                self._recover_broken_pool(batch, exc)
                 return
             except CancelledError:
                 continue
             except Exception:
-                # Submission-side failure (e.g. the spec did not pickle):
-                # report it on the outcome envelope like a worker exception.
-                outcome = RunOutcome(
-                    spec=self.specs[j],
-                    point=None,
-                    error=traceback.format_exc(),
-                    wall_time=time.monotonic() - t_submit,
+                # Submission-side failure (e.g. a spec did not pickle):
+                # report it on every member's envelope like a worker exception.
+                error = traceback.format_exc()
+                outcomes = [
+                    RunOutcome(
+                        spec=self.specs[j],
+                        point=None,
+                        error=error,
+                        wall_time=time.monotonic() - t_submit,
+                    )
+                    for j in batch
+                ]
+            while len(outcomes) < len(batch):  # defensive: never lose a spec
+                j = batch[len(outcomes)]
+                outcomes.append(
+                    RunOutcome(
+                        spec=self.specs[j],
+                        point=None,
+                        error="batch execution returned too few outcomes",
+                        wall_time=time.monotonic() - t_submit,
+                    )
                 )
-            self._resolve(j, outcome)
+            for j, outcome in zip(batch, outcomes):
+                self._resolve(j, outcome)
 
     def _expire_overdue(self) -> None:
         now = time.monotonic()
-        for future, j in list(self.pending.items()):
+        for future, batch in list(self.pending.items()):
             elapsed = now - self.started[future]
             if elapsed < self.timeout:
                 continue
@@ -801,19 +965,22 @@ class _PoolExecution:
             del self.started[future]
             future.cancel()  # a running task cannot be cancelled; its late
             # result is simply ignored (the slot frees when it finishes).
-            self.stats.n_timeouts += 1
-            self._resolve(
-                j,
-                RunOutcome(
-                    spec=self.specs[j],
-                    point=None,
-                    error=(
-                        f"timed out after {elapsed:.1f}s "
-                        f"(per-spec timeout {self.timeout:g}s)"
+            # With a timeout configured every batch is a singleton, so the
+            # timeout (and its counter) always charges exactly one spec.
+            for j in batch:
+                self.stats.n_timeouts += 1
+                self._resolve(
+                    j,
+                    RunOutcome(
+                        spec=self.specs[j],
+                        point=None,
+                        error=(
+                            f"timed out after {elapsed:.1f}s "
+                            f"(per-spec timeout {self.timeout:g}s)"
+                        ),
+                        wall_time=elapsed,
                     ),
-                    wall_time=elapsed,
-                ),
-            )
+                )
 
     def _resolve(self, j: int, outcome: RunOutcome) -> None:
         if outcome.ok or self.retries_used[j] >= self.max_retries:
@@ -831,17 +998,24 @@ class _PoolExecution:
             self.retry_backoff, self.retries_used[j], self.backoff_rng
         )
         self.not_before[j] = time.monotonic() + delay
-        self.todo.append(j)
+        self.todo.append([j])  # retries always travel alone
 
-    def _recover_broken_pool(self, j: int, exc: BaseException) -> None:
-        """A worker died: rebuild the pool, resubmit only unfinished specs."""
+    def _recover_broken_pool(self, batch: List[int], exc: BaseException) -> None:
+        """A worker died: rebuild the pool, resubmit only unfinished specs.
+
+        Resubmissions are singleton batches: each crashed spec carries its
+        own crash count toward quarantine, and a poison spec cannot drag
+        batch-mates down with it on the next attempt.
+        """
         self.stats.n_pool_rebuilds += 1
-        unfinished = sorted({j, *self.pending.values()})
+        unfinished = sorted(
+            {*batch, *(j for b in self.pending.values() for j in b)}
+        )
         self.pending.clear()
         self.started.clear()
         for k in unfinished:
             self.crashes[k] += 1
-        self.todo.extendleft(reversed(unfinished))
+        self.todo.extendleft([k] for k in reversed(unfinished))
         logger.warning(
             "process pool broke (%s); rebuilding and resubmitting %d "
             "unfinished specs (completed outcomes are preserved)",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.cluster import Cluster, paper_cluster
 from repro.core import (
@@ -168,6 +168,31 @@ _SCALED_WORKLOADS_MAX = 16
 _CLUSTERS: Dict[Tuple, Cluster] = {}
 _CLUSTERS_MAX = 16
 
+#: Zero-copy base workloads published by the sweep executor, by
+#: ``base_key()``.  Installed into each pool worker by the pool initializer
+#: (:func:`install_shared_columns`); :func:`_base_workload` attaches one of
+#: these instead of re-generating/re-parsing the trace.  Attaching still
+#: counts as that worker's one base-workload *miss* (the memo above caches
+#: the attached workload), so the hit/miss accounting is representation-
+#: independent.  Not a cache: survives :func:`clear_materialization_caches`
+#: and is replaced wholesale on install.
+_SHARED_BASES: Dict[Tuple, Any] = {}
+
+
+def install_shared_columns(handles: Optional[Sequence[Any]]) -> None:
+    """Install published base-workload handles for this process.
+
+    ``handles`` are :class:`repro.experiments.shm.ColumnsHandle` objects
+    (duck-typed here to keep this module free of the shm dependency); pass
+    ``None`` or an empty sequence to clear — the pool initializer does this
+    unconditionally so a forked worker never acts on handles inherited from
+    a previous pool.
+    """
+    _SHARED_BASES.clear()
+    for handle in handles or ():
+        _SHARED_BASES[tuple(handle.base_key)] = handle
+
+
 #: Hit/miss counters for the memos above (per process — a pool worker's
 #: counters describe that worker only).  Read via
 #: :func:`materialization_cache_info`.
@@ -191,6 +216,23 @@ def materialization_cache_info() -> Dict[str, int]:
     return dict(_CACHE_STATS)
 
 
+def trim_materialized_workloads() -> None:
+    """Release every memoized workload's materialized per-job objects.
+
+    The engine consumes Python :class:`Job` objects, which a columnar
+    workload materializes on first iteration — several MB per 20k-job
+    trace, and the memos above would retain one such list per cached
+    (base/scaled) workload.  The sweep executor calls this after every run
+    so a worker keeps at most one materialized list live at a time; the
+    columns stay cached, making the next run's re-materialization a cheap
+    bulk pass rather than a re-parse (cache hit/miss counters unaffected).
+    """
+    for workload in _BASE_WORKLOADS.values():
+        workload.release_materialized()
+    for workload in _SCALED_WORKLOADS.values():
+        workload.release_materialized()
+
+
 def clear_materialization_caches() -> None:
     """Drop every materialization memo and zero the hit/miss counters.
 
@@ -212,20 +254,37 @@ def _base_workload(spec: WorkloadSpec) -> Workload:
         _CACHE_STATS["base_workload_hits"] += 1
         return cached
     _CACHE_STATS["base_workload_misses"] += 1
-    if spec.source == "lanl-cm5-synthetic":
-        workload = lanl_cm5_like(n_jobs=spec.n_jobs, seed=spec.seed)
-    elif spec.source == "swf":
-        if not spec.trace_path:
-            raise ValueError("WorkloadSpec(source='swf') requires trace_path")
-        workload, _report = read_swf(spec.trace_path)
+    shared = _SHARED_BASES.get(key)
+    if shared is not None:
+        # Zero-copy fast path: the parent already materialized this base
+        # (drop_full_machine included — it is part of the key) and published
+        # its columns; attach views instead of re-deriving the trace.
+        workload = shared.attach()
     else:
-        raise ValueError(f"unknown workload source {spec.source!r}")
-    if spec.drop_full_machine:
-        workload = drop_full_machine_jobs(workload)
+        if spec.source == "lanl-cm5-synthetic":
+            workload = lanl_cm5_like(n_jobs=spec.n_jobs, seed=spec.seed)
+        elif spec.source == "swf":
+            if not spec.trace_path:
+                raise ValueError("WorkloadSpec(source='swf') requires trace_path")
+            workload, _report = read_swf(spec.trace_path)
+        else:
+            raise ValueError(f"unknown workload source {spec.source!r}")
+        if spec.drop_full_machine:
+            workload = drop_full_machine_jobs(workload)
     if len(_BASE_WORKLOADS) >= _BASE_WORKLOADS_MAX:
         _BASE_WORKLOADS.pop(next(iter(_BASE_WORKLOADS)))
     _BASE_WORKLOADS[key] = workload
     return workload
+
+
+def materialize_base_workload(spec: WorkloadSpec) -> Workload:
+    """The spec's base workload (pre load-scaling), via this process's memo.
+
+    Public entry point for the sweep executor, which materializes each
+    distinct base once in the parent in order to publish its columns to the
+    pool workers (:mod:`repro.experiments.shm`).
+    """
+    return _base_workload(spec)
 
 
 @dataclass(frozen=True)

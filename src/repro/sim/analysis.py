@@ -157,14 +157,21 @@ def wait_by_size_class(
     >=256).
     """
     edges = [0, *sorted(boundaries), 10**9]
+    cols = result.summary_columns()
+    completed = cols.completed
+    procs = cols.procs
+    run = cols.run_time
+    response = cols.end_time - cols.first_submit
+    waits = response - run
+    slowdowns = np.full_like(response, np.inf)
+    positive = run > 0
+    slowdowns[positive] = response[positive] / run[positive]
     stats: List[SizeClassStats] = []
     for lo, hi in zip(edges[:-1], edges[1:]):
-        members = [
-            s for s in result.summaries
-            if s.completed and lo <= s.job.procs < hi
-        ]
+        member = completed & (procs >= lo) & (procs < hi)
         label = f"{lo}-{hi - 1}" if hi < 10**9 else f">={lo}"
-        if not members:
+        n = int(member.sum())
+        if not n:
             stats.append(
                 SizeClassStats(
                     label=label, min_procs=lo, max_procs=hi - 1, n_jobs=0,
@@ -177,9 +184,9 @@ def wait_by_size_class(
                 label=label,
                 min_procs=lo,
                 max_procs=hi - 1,
-                n_jobs=len(members),
-                mean_wait=float(np.mean([s.wait_time for s in members])),
-                mean_slowdown=float(np.mean([s.slowdown for s in members])),
+                n_jobs=n,
+                mean_wait=float(np.mean(waits[member])),
+                mean_slowdown=float(np.mean(slowdowns[member])),
             )
         )
     return stats

@@ -82,13 +82,20 @@ def mean_slowdown(result: SimResult) -> float:
 
 
 def bounded_slowdown(result: SimResult, threshold: float = 10.0) -> float:
-    """Average bounded slowdown (runtime clamped to ``threshold`` seconds)."""
+    """Average bounded slowdown (runtime clamped to ``threshold`` seconds).
+
+    One vectorized clamp over the memoized summary columns; identical to
+    folding :meth:`JobSummary.bounded_slowdown` per job (same doubles, same
+    operation order per element).
+    """
     check_positive("threshold", threshold)
-    values = [
-        s.bounded_slowdown(threshold) for s in result.summaries if s.completed
-    ]
-    if not values:
+    cols = result.summary_columns()
+    mask = cols.completed
+    if not mask.any():
         return float("nan")
+    run = cols.run_time[mask]
+    response = cols.end_time[mask] - cols.first_submit[mask]
+    values = np.maximum(response / np.maximum(run, threshold), 1.0)
     return float(np.mean(values))
 
 

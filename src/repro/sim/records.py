@@ -132,6 +132,22 @@ class JobSummary(NamedTuple):
         )
 
 
+class SummaryColumns(NamedTuple):
+    """Columnar views over a result's :class:`JobSummary` list.
+
+    Built once per :class:`SimResult` (see :meth:`SimResult.summary_columns`)
+    so every metric — slowdowns, waits, size-class breakdowns — is a
+    vectorized pass over shared arrays instead of a fresh Python-level
+    rebuild per call.
+    """
+
+    completed: np.ndarray  # bool
+    first_submit: np.ndarray  # float64
+    end_time: np.ndarray  # float64
+    run_time: np.ndarray  # float64, the job's productive runtime
+    procs: np.ndarray  # int64
+
+
 @dataclass
 class SimResult:
     """Everything a simulation run produced."""
@@ -167,6 +183,19 @@ class SimResult:
     #: the simulation ran with ``record_timeline=True`` (see also
     #: :class:`repro.obs.sampler.TimelineSampler`).
     timeline: List[TimelineSample] = field(default_factory=list)
+    #: Memoized columnar views over ``summaries`` (see :meth:`summary_columns`
+    #: / :meth:`slowdowns` / :meth:`wait_times`).  A result is effectively
+    #: frozen once the run ends, so these are computed once and never
+    #: invalidated; excluded from equality/repr.
+    _summary_columns: Optional["SummaryColumns"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _slowdowns: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _wait_times: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------- totals
     @property
@@ -196,12 +225,53 @@ class SimResult:
         return self.n_resource_failures / self.n_attempts
 
     # ------------------------------------------------------------- arrays
+    def summary_columns(self) -> SummaryColumns:
+        """Columnar views over ``summaries`` (memoized — results are frozen
+        after the run, so the first call pays the only object pass)."""
+        if self._summary_columns is None:
+            n = len(self.summaries)
+            completed = np.empty(n, dtype=bool)
+            first_submit = np.empty(n, dtype=np.float64)
+            end_time = np.empty(n, dtype=np.float64)
+            run_time = np.empty(n, dtype=np.float64)
+            procs = np.empty(n, dtype=np.int64)
+            for i, s in enumerate(self.summaries):
+                completed[i] = s.completed
+                first_submit[i] = s.first_submit
+                end_time[i] = s.end_time
+                run_time[i] = s.job.run_time
+                procs[i] = s.job.procs
+            self._summary_columns = SummaryColumns(
+                completed=completed,
+                first_submit=first_submit,
+                end_time=end_time,
+                run_time=run_time,
+                procs=procs,
+            )
+        return self._summary_columns
+
     def slowdowns(self) -> np.ndarray:
-        """Per-completed-job slowdown values."""
-        return np.array([s.slowdown for s in self.summaries if s.completed])
+        """Per-completed-job slowdown values (memoized on first use)."""
+        if self._slowdowns is None:
+            cols = self.summary_columns()
+            mask = cols.completed
+            run = cols.run_time[mask]
+            response = cols.end_time[mask] - cols.first_submit[mask]
+            out = np.empty_like(response)
+            positive = run > 0
+            out[positive] = response[positive] / run[positive]
+            out[~positive] = np.inf  # zero-runtime jobs: unbounded slowdown
+            self._slowdowns = out
+        return self._slowdowns
 
     def wait_times(self) -> np.ndarray:
-        return np.array([s.wait_time for s in self.summaries if s.completed])
+        """Per-completed-job wait times (memoized on first use)."""
+        if self._wait_times is None:
+            cols = self.summary_columns()
+            mask = cols.completed
+            response = cols.end_time[mask] - cols.first_submit[mask]
+            self._wait_times = response - cols.run_time[mask]
+        return self._wait_times
 
     def fingerprint(self) -> str:
         """SHA-256 digest of everything the run produced, bit-exactly.

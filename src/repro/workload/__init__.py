@@ -18,7 +18,8 @@ Workloads Archive.  This package provides
 
 from repro.workload.arrivals import retime_diurnal, retime_poisson
 from repro.workload.cleaning import Flurry, detect_flurries, inject_flurry, remove_flurries
-from repro.workload.job import Job, Workload
+from repro.workload.columns import COLUMN_FIELDS, JobColumns
+from repro.workload.job import Job, LazyJobs, Workload
 from repro.workload.lanl_cm5 import LANL_CM5, TraceProfile, lanl_cm5_like
 from repro.workload.report import TraceReport, characterize
 from repro.workload.splitting import split_by_time
@@ -41,9 +42,12 @@ from repro.workload.stats import (
 )
 
 __all__ = [
+    "COLUMN_FIELDS",
     "Flurry",
     "Job",
+    "JobColumns",
     "LANL_CM5",
+    "LazyJobs",
     "OverprovisioningStats",
     "RegressionFit",
     "SyntheticTraceConfig",

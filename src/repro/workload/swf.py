@@ -33,12 +33,16 @@ requested memory, used memory, user and application identity.
 
 from __future__ import annotations
 
+import io
 import math
 import os
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.util.units import kb_to_mb, mb_to_kb
+from repro.workload.columns import JobColumns
 from repro.workload.job import Job, Workload
 
 #: Number of data fields in an SWF record.
@@ -87,10 +91,15 @@ def read_swf_text(
         When False, missing memory fields are filled with 1 MB placeholders.
     """
     report = SwfParseReport()
-    jobs: List[Job] = []
     max_nodes = 0
     node_mem = 0.0
 
+    # One pass to separate headers from data (counting as we go), then a
+    # vectorized parse of the data block.  Any irregularity — ragged rows,
+    # non-numeric tokens — falls back to the per-line loop, which remains
+    # the semantic reference; the fast path reproduces its kept jobs *and*
+    # its skip accounting exactly on well-formed traces.
+    data_lines: List[str] = []
     for raw in text.splitlines():
         line = raw.strip()
         report.total_lines += 1
@@ -111,7 +120,90 @@ def read_swf_text(
                 except ValueError:
                     pass
             continue
+        data_lines.append(line)
 
+    workload = _parse_data_vectorized(data_lines, report, require_memory)
+    if workload is None:
+        workload = _parse_data_lines(data_lines, report, require_memory)
+    workload.total_nodes = max_nodes
+    workload.node_mem = node_mem
+    workload.name = name
+    return workload, report
+
+
+def _parse_data_vectorized(
+    data_lines: List[str], report: SwfParseReport, require_memory: bool
+) -> Optional[Workload]:
+    """Whole-trace parse as one numpy pass; ``None`` when inapplicable.
+
+    ``np.loadtxt`` accepts only rectangular all-numeric data, which is
+    exactly the well-formed case; anything else (ragged rows, stray text)
+    raises and the caller falls back to the per-line reference loop.
+    """
+    if not data_lines:
+        return Workload([], name="swf")
+    try:
+        table = np.loadtxt(
+            io.StringIO("\n".join(data_lines)), dtype=np.float64, ndmin=2
+        )
+    except Exception:
+        return None
+    if table.shape[0] != len(data_lines):
+        return None  # paranoia: every data line must map to one row
+    if table.shape[1] < SWF_FIELDS:
+        # Uniformly short rows: each is malformed, exactly as per-line.
+        report.skipped_malformed += len(data_lines)
+        return Workload([], name="swf")
+    f = table[:, :SWF_FIELDS]
+
+    finite = np.isfinite(f).all(axis=1)
+    report.skipped_malformed += int((~finite).sum())
+    # Non-finite rows are dropped regardless; zero them so the int casts
+    # below never touch a NaN (which would warn on the cast).
+    if not finite.all():
+        f = np.where(np.isfinite(f), f, 0.0)
+
+    job_id, submit, _wait, run, procs = (f[:, i] for i in range(5))
+    used_mem_kb, req_procs, req_time, req_mem_kb, status = (
+        f[:, i] for i in range(6, 11)
+    )
+    user, group, app = f[:, 11], f[:, 12], f[:, 13]
+
+    nprocs = np.where(procs > 0, procs, req_procs).astype(np.int64)
+    missing = finite & ((run <= 0) | (nprocs <= 0) | (submit < 0))
+    if require_memory:
+        missing |= finite & ~missing & ((used_mem_kb <= 0) | (req_mem_kb <= 0))
+    report.skipped_missing_fields += int(missing.sum())
+
+    keep = finite & ~missing
+    report.parsed_jobs += int(keep.sum())
+
+    used_mem = np.where(used_mem_kb > 0, kb_to_mb(used_mem_kb), 1.0)
+    req_mem = np.where(
+        req_mem_kb > 0, kb_to_mb(req_mem_kb), np.maximum(used_mem, 1.0)
+    )
+    columns = JobColumns(
+        job_id=job_id[keep].astype(np.int64),
+        submit_time=submit[keep],
+        run_time=run[keep],
+        procs=nprocs[keep],
+        req_mem=req_mem[keep],
+        used_mem=used_mem[keep],
+        req_time=req_time[keep],
+        user_id=user[keep].astype(np.int64),
+        group_id=group[keep].astype(np.int64),
+        app_id=app[keep].astype(np.int64),
+        status=status[keep].astype(np.int64),
+    ).validate()
+    return Workload.from_columns(columns, name="swf")
+
+
+def _parse_data_lines(
+    data_lines: List[str], report: SwfParseReport, require_memory: bool
+) -> Workload:
+    """The per-line reference parser (fallback for irregular traces)."""
+    jobs: List[Job] = []
+    for line in data_lines:
         parts = line.split()
         if len(parts) < SWF_FIELDS:
             report.skipped_malformed += 1
@@ -177,7 +269,7 @@ def read_swf_text(
         )
         report.parsed_jobs += 1
 
-    return Workload(jobs, total_nodes=max_nodes, node_mem=node_mem, name=name), report
+    return Workload(jobs, name="swf")
 
 
 def read_swf(

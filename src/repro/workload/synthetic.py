@@ -36,6 +36,7 @@ import numpy as np
 from repro.util.rng import RngStream, as_generator
 from repro.util.units import SECONDS_PER_DAY, SECONDS_PER_YEAR
 from repro.util.validation import check_in_range, check_positive
+from repro.workload.columns import JobColumns
 from repro.workload.job import Job, Workload
 from repro.workload.lanl_cm5 import LANL_CM5
 
@@ -373,8 +374,18 @@ def generate_trace(
     proc_levels_arr = np.array(cfg.proc_levels)
     proc_weights_arr = np.array(cfg.proc_weights)
 
-    jobs: List[Job] = []
-    job_id = 1
+    # Columnar assembly: the RNG draws below are call-for-call identical to
+    # the historical per-job construction loop (same distributions, sizes,
+    # and order), so a given seed yields the bit-identical trace — only the
+    # assembly of the drawn values into records is batched.
+    submit_parts: List[np.ndarray] = []
+    runtime_parts: List[np.ndarray] = []
+    reqtime_parts: List[np.ndarray] = []
+    used_parts: List[np.ndarray] = []
+    procs_parts: List[np.ndarray] = []
+    req_mem_parts: List[np.ndarray] = []
+    user_parts: List[np.ndarray] = []
+    app_parts: List[np.ndarray] = []
     for gi, (size, key, ratio) in enumerate(zip(sizes, keys, ratios)):
         user_id, app_id, req_mem = key
         # min used memory in the group; intra-group spread up to the range.
@@ -401,52 +412,52 @@ def generate_trace(
         submits = np.clip(submits, 0.0, cfg.duration)
 
         procs_per_job = gen.choice(proc_levels_arr, size=size, p=proc_weights_arr)
-        for k in range(size):
-            jobs.append(
-                Job(
-                    job_id=job_id,
-                    submit_time=float(submits[k]),
-                    run_time=float(runtimes[k]),
-                    procs=int(procs_per_job[k]),
-                    req_mem=float(req_mem),
-                    used_mem=float(used[k]),
-                    req_time=float(req_times[k]),
-                    user_id=user_id,
-                    group_id=user_id,  # LANL CM5 has no separate unix groups
-                    app_id=app_id,
-                )
-            )
-            job_id += 1
+        submit_parts.append(submits)
+        runtime_parts.append(runtimes)
+        reqtime_parts.append(req_times)
+        used_parts.append(used)
+        procs_parts.append(procs_per_job)
+        req_mem_parts.append(np.full(size, req_mem, dtype=np.float64))
+        user_parts.append(np.full(size, user_id, dtype=np.int64))
+        app_parts.append(np.full(size, app_id, dtype=np.int64))
 
     # The six full-machine jobs §3.1 removes for the heterogeneous runs.
     for _ in range(cfg.n_full_machine_jobs):
         runtime = float(
             np.clip(gen.lognormal(cfg.runtime_mu + 1.0, 1.0), cfg.runtime_min, cfg.runtime_max)
         )
-        used = float(gen.uniform(8.0, cfg.node_mem))
-        jobs.append(
-            Job(
-                job_id=job_id,
-                submit_time=float(gen.uniform(0.0, cfg.duration)),
-                run_time=runtime,
-                procs=cfg.total_nodes,
-                req_mem=cfg.node_mem,
-                used_mem=used,
-                req_time=runtime * 2,
-                user_id=0,
-                group_id=0,
-                app_id=0,
-            )
-        )
-        job_id += 1
+        used_full = float(gen.uniform(8.0, cfg.node_mem))
+        submit_parts.append(np.array([gen.uniform(0.0, cfg.duration)]))
+        runtime_parts.append(np.array([runtime]))
+        reqtime_parts.append(np.array([runtime * 2]))
+        used_parts.append(np.array([used_full]))
+        procs_parts.append(np.array([cfg.total_nodes], dtype=np.int64))
+        req_mem_parts.append(np.array([cfg.node_mem], dtype=np.float64))
+        user_parts.append(np.zeros(1, dtype=np.int64))
+        app_parts.append(np.zeros(1, dtype=np.int64))
 
+    submit_times = np.concatenate(submit_parts) if submit_parts else np.empty(0)
+    n_total = submit_times.shape[0]
     if cfg.diurnal:
-        times = np.array([j.submit_time for j in jobs])
-        warped = _diurnal_warp(
-            times, cfg.duration, cfg.day_night_ratio, cfg.weekend_factor
+        submit_times = _diurnal_warp(
+            submit_times, cfg.duration, cfg.day_night_ratio, cfg.weekend_factor
         )
-        jobs = [j.with_submit_time(float(t)) for j, t in zip(jobs, warped)]
 
-    return Workload(
-        jobs, total_nodes=cfg.total_nodes, node_mem=cfg.node_mem, name=cfg.name
+    user_ids = np.concatenate(user_parts) if user_parts else np.empty(0, np.int64)
+    columns = JobColumns(
+        job_id=np.arange(1, n_total + 1, dtype=np.int64),
+        submit_time=submit_times,
+        run_time=np.concatenate(runtime_parts),
+        procs=np.concatenate(procs_parts).astype(np.int64),
+        req_mem=np.concatenate(req_mem_parts),
+        used_mem=np.concatenate(used_parts),
+        req_time=np.concatenate(reqtime_parts),
+        user_id=user_ids,
+        group_id=user_ids.copy(),  # LANL CM5 has no separate unix groups
+        app_id=np.concatenate(app_parts),
+        status=np.ones(n_total, dtype=np.int64),
+    ).validate()
+
+    return Workload.from_columns(
+        columns, total_nodes=cfg.total_nodes, node_mem=cfg.node_mem, name=cfg.name
     )

@@ -119,6 +119,32 @@ class TestWorkerDeath:
         assert rerun.points() == report.points()
 
     @fork_only
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+    )
+    def test_shared_segments_unlinked_after_sigkilled_worker(self, tmp_path):
+        # A SIGKILLed worker never runs cleanup of its own; the *parent*
+        # owns the shared-memory segments (repro.experiments.shm) and must
+        # unlink them even when the pool breaks and is rebuilt mid-sweep.
+        import glob
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+        sentinel = tmp_path / "killed"
+        report = run_sweep(
+            [
+                spec(load=0.4),
+                spec("kill-worker-once", load=0.5, sentinel=str(sentinel)),
+                spec(load=0.6),
+            ],
+            max_workers=2,
+            oversubscribe=True,
+        )
+        assert sentinel.exists(), "the kill never fired"
+        assert report.n_errors == 0
+        assert report.n_pool_rebuilds >= 1
+        assert set(glob.glob("/dev/shm/psm_*")) - before == set()
+
+    @fork_only
     def test_repeat_offender_is_quarantined_in_process(self, tmp_path):
         # A spec that kills its worker every time (no sentinel reprieve after
         # the first crash: fresh sentinel per attempt via crash-count naming
