@@ -24,6 +24,10 @@ Subcommands
 ``design``
     The Figure 8 cluster-design tool: rank second-tier memory sizes for a
     workload.
+``serve``
+    The sweep service: an HTTP API to submit sweeps, stream progress as
+    JSONL, fetch results, and scrape Prometheus metrics.  Identical
+    submissions are idempotent via the on-disk result cache.
 
 Every subcommand accepts ``--jobs`` and ``--seed`` so results are exactly
 reproducible from the shell.
@@ -355,6 +359,24 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import resolve_cache
+    from repro.service import ServiceConfig, serve
+
+    serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            sweep_workers=args.workers,
+            max_concurrent_sweeps=args.max_sweeps,
+            cache=resolve_cache(
+                enabled=not args.no_cache, directory=args.cache_dir
+            ),
+        )
+    )
+    return 0
+
+
 def cmd_design(args: argparse.Namespace) -> int:
     workload = drop_full_machine_jobs(_load_workload(args))
     candidates = [float(m) for m in args.candidates]
@@ -514,6 +536,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("serve", help="run the sweep service (HTTP API)")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = OS-assigned)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per executing sweep",
+    )
+    p.add_argument(
+        "--max-sweeps",
+        type=int,
+        default=2,
+        help="sweeps executing concurrently; the rest queue as pending",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (disables cross-restart idempotency)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="sweep cache directory (default: $REPRO_CACHE_DIR, unset = off)",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("design", help="rank second-tier memory sizes (Fig 8 tool)")
     _add_common(p)

@@ -39,6 +39,13 @@ from repro.core import NoEstimation, SuccessiveApproximation
 from repro.core.base import Estimator
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.render import ascii_chart, format_table
+from repro.experiments.specs import (
+    ClusterSpec,
+    EstimatorSpec,
+    FaultSpec,
+    RunSpec,
+    WorkloadSpec,
+)
 from repro.sim import FailureModel, FaultConfig, NodeFaultInjector, Simulation, fault_rng, utilization
 from repro.sim.policies import Fcfs
 from repro.workload.transforms import scale_load
@@ -46,6 +53,54 @@ from repro.workload.transforms import scale_load
 
 def _mtbf_label(mtbf: float) -> str:
     return "clean" if math.isinf(mtbf) else f"{mtbf:.0e}s"
+
+
+def sweep_specs(
+    cfg: Optional[ExperimentConfig] = None,
+    mtbfs: Sequence[float] = (math.inf, 2e8, 5e7, 2e7),
+    node_mttr: float = 3600.0,
+    load: float = 0.8,
+) -> List[RunSpec]:
+    """The MTBF x estimator-variant grid as picklable :class:`RunSpec`s.
+
+    This is the grid :func:`run` simulates, expressed through the sweep
+    subsystem (``FaultSpec`` carries the failure knobs) so the service and
+    the parallel executor can run it.  ``math.inf`` MTBF maps to a disabled
+    :class:`~repro.experiments.specs.FaultSpec` (``node_mtbf=0``) because
+    specs must stay strictly JSON-able; each spec's simulation is
+    bit-identical to the corresponding direct run in :func:`run`.
+    """
+    cfg = cfg or ExperimentConfig()
+    variants: List[Tuple[str, EstimatorSpec]] = [
+        ("implicit", EstimatorSpec.make("successive", alpha=cfg.alpha, beta=0.0)),
+        (
+            "implicit-decay",
+            EstimatorSpec.make("successive", alpha=cfg.alpha, beta=0.75),
+        ),
+        (
+            "explicit-guard",
+            EstimatorSpec.make(
+                "successive", alpha=cfg.alpha, beta=0.0, explicit_guard=True
+            ),
+        ),
+        ("no-estimation", EstimatorSpec(name="none")),
+    ]
+    return [
+        RunSpec(
+            workload=WorkloadSpec(n_jobs=cfg.n_jobs, seed=cfg.seed, load=load),
+            cluster=ClusterSpec(second_tier_mem=cfg.second_tier_mem),
+            estimator=estimator,
+            seed=cfg.seed,
+            label=f"{name}@mtbf={_mtbf_label(mtbf)}",
+            faults=(
+                FaultSpec()
+                if math.isinf(mtbf)
+                else FaultSpec(node_mtbf=float(mtbf), node_mttr=node_mttr)
+            ),
+        )
+        for mtbf in mtbfs
+        for name, estimator in variants
+    ]
 
 
 @dataclass(frozen=True)

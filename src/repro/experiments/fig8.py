@@ -156,6 +156,42 @@ class Fig8Result:
         )
 
 
+def default_mems(cfg: ExperimentConfig) -> List[float]:
+    """The second-tier sizes swept: every integer 1..32 at full scale, a
+    representative subset dense inside and around the paper's improvement
+    band otherwise."""
+    if cfg.n_jobs >= 100_000:
+        return [float(m) for m in range(1, 33)]
+    return [1, 4, 8, 12, 14, 15, 16, 18, 20, 22, 24, 26, 28, 30, 31, 32]
+
+
+def sweep_specs(
+    cfg: Optional[ExperimentConfig] = None,
+    mems: Optional[Sequence[float]] = None,
+    load: float = 0.8,
+) -> List[RunSpec]:
+    """The Figure 8 grid — (without, with) estimation per second-tier size —
+    as picklable :class:`RunSpec`s, in the order :func:`run` consumes them."""
+    cfg = cfg or ExperimentConfig()
+    mems = default_mems(cfg) if mems is None else list(mems)
+    workload_spec = WorkloadSpec(n_jobs=cfg.n_jobs, seed=cfg.seed, load=load)
+    estimators = (
+        EstimatorSpec(name="none"),
+        EstimatorSpec.make("successive", alpha=cfg.alpha, beta=cfg.beta),
+    )
+    return [
+        RunSpec(
+            workload=workload_spec,
+            cluster=ClusterSpec(second_tier_mem=float(m)),
+            estimator=est,
+            seed=cfg.seed,
+            label=f"{est.name}@tier2={m:g}MB",
+        )
+        for m in mems
+        for est in estimators
+    ]
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     mems: Optional[Sequence[float]] = None,
@@ -172,34 +208,15 @@ def run(
     ``cache`` memoizes the per-configuration points on disk.
     """
     cfg = config or ExperimentConfig()
-    if mems is None:
-        if cfg.n_jobs >= 100_000:
-            mems = list(range(1, 33))
-        else:
-            mems = [1, 4, 8, 12, 14, 15, 16, 18, 20, 22, 24, 26, 28, 30, 31, 32]
-    workload_spec = WorkloadSpec(n_jobs=cfg.n_jobs, seed=cfg.seed, load=load)
-    scaled = workload_spec.materialize()
+    mems = default_mems(cfg) if mems is None else list(mems)
+    scaled = WorkloadSpec(n_jobs=cfg.n_jobs, seed=cfg.seed, load=load).materialize()
 
     design = {
         c.second_tier_mem: c
         for c in design_second_tier(scaled, mems, alpha=cfg.alpha)
     }
 
-    estimators = (
-        EstimatorSpec(name="none"),
-        EstimatorSpec.make("successive", alpha=cfg.alpha, beta=cfg.beta),
-    )
-    specs = [
-        RunSpec(
-            workload=workload_spec,
-            cluster=ClusterSpec(second_tier_mem=float(m)),
-            estimator=est,
-            seed=cfg.seed,
-            label=f"{est.name}@tier2={m:g}MB",
-        )
-        for m in mems
-        for est in estimators
-    ]
+    specs = sweep_specs(cfg, mems, load)
     sweep_points = run_sweep(specs, max_workers=max_workers, cache=cache).points()
 
     points: List[Fig8Point] = []

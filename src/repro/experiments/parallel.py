@@ -40,7 +40,9 @@ Each run returns a :class:`RunOutcome` envelope: the spec, its
 :class:`~repro.experiments.runner.SweepPoint` (or a formatted traceback if
 the worker raised — one bad point reports itself instead of killing the
 sweep), the wall time, and whether it was served from the
-:class:`~repro.experiments.cache.SweepCache` or the checkpoint.
+:class:`~repro.experiments.cache.SweepCache` (``cached``) or restored from
+the checkpoint manifest (``resumed``) — a point found in both stores
+counts once, as a cache hit.
 Sweep-level throughput, cache, and resilience accounting is reported on
 :class:`SweepReport` and logged via the ``repro.sweep`` logger.
 """
@@ -51,6 +53,7 @@ import json
 import logging
 import os
 import random
+import sys
 import time
 import traceback
 from collections import deque
@@ -64,7 +67,7 @@ from concurrent.futures import (
 )
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import IO, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.cache import SweepCache
 from repro.experiments.runner import LoadSweep, SweepPoint, run_point
@@ -76,6 +79,7 @@ from repro.experiments.specs import (
     materialize_base_workload,
     trim_materialized_workloads,
 )
+from repro.sim.faults import FaultConfig
 from repro.sim.metrics import mean_slowdown, utilization
 
 try:  # POSIX-only; on platforms without it RSS reports as 0
@@ -104,7 +108,12 @@ class RunOutcome:
     point: Optional[SweepPoint]
     error: Optional[str] = None
     wall_time: float = 0.0
+    #: Served from the :class:`~repro.experiments.cache.SweepCache` without
+    #: executing.  Mutually exclusive with ``resumed``: a point found in both
+    #: stores counts once, as a cache hit.
     cached: bool = False
+    #: Restored from a checkpoint manifest (and not also a cache hit).
+    resumed: bool = False
     #: Times this spec was re-executed after a failure or timeout before the
     #: recorded result landed (0 for first-try successes and cache hits).
     retries: int = 0
@@ -128,12 +137,19 @@ def simulate_spec(spec: RunSpec) -> SweepPoint:
     This is the single execution path shared by the serial loop and the
     pool workers, which is what guarantees worker/in-process parity.
     """
+    fault_config = None
+    if spec.faults.node_mtbf > 0:
+        fault_config = FaultConfig(
+            node_mtbf=spec.faults.node_mtbf, node_mttr=spec.faults.node_mttr
+        )
     result = run_point(
         spec.workload.materialize(),
         spec.cluster.materialize(),
         spec.estimator.materialize(),
         policy=spec.policy.materialize(),
         seed=spec.seed,
+        fault_config=fault_config,
+        spurious_failure_prob=spec.faults.spurious,
     )
     return SweepPoint(
         load=float(spec.load),
@@ -170,11 +186,24 @@ def _worker_warmup() -> int:
     return os.getpid()
 
 
+def _rss_to_kb(ru_maxrss: float, platform: str = sys.platform) -> int:
+    """Normalize a raw ``ru_maxrss`` reading to kilobytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux (and most
+    other POSIX systems) but in **bytes** on macOS — an un-normalized
+    reading over-reports Darwin worker memory ~1024x.
+    """
+    value = int(ru_maxrss)
+    if platform == "darwin":
+        return value // 1024
+    return value
+
+
 def _peak_rss_kb() -> int:
     """This process's peak resident set size in KB (0 where unsupported)."""
     if _resource is None:
         return 0
-    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+    return _rss_to_kb(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
 
 
 def execute_spec(spec: RunSpec) -> RunOutcome:
@@ -276,18 +305,25 @@ class SweepCheckpoint:
     """Append-only JSONL manifest of completed sweep points.
 
     One line per completed spec: its cache key, label, wall time, and the
-    full point payload.  Appends are flushed and fsynced, so a sweep killed
-    at any instant loses at most the line being written — and
-    :meth:`load` skips a torn trailing line (or any corrupt/stale line)
-    instead of failing.  Unlike the :class:`SweepCache` (keyed files,
+    full point payload.  Every append is flushed and fsynced — and the
+    *directory entry* is fsynced when the manifest file is first created —
+    so a ``SIGKILL`` at any instant loses at most the line being written,
+    and :meth:`load` skips a torn trailing line (or any corrupt/foreign
+    line) instead of failing.  Unlike the :class:`SweepCache` (keyed files,
     optional), the manifest is self-contained: resuming needs only this one
     file.
+
+    The append handle is held open across :meth:`record` calls (a
+    long-lived service checkpoints thousands of points; re-opening per line
+    would triple the syscall cost of each append).  :meth:`close` releases
+    it; a later :meth:`record` transparently re-opens.
     """
 
     _VERSION = 1
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
         if self.path.parent != Path(""):
             self.path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -311,6 +347,24 @@ class SweepCheckpoint:
                 continue  # torn write from a crash, or a foreign line
         return points
 
+    def _open(self) -> IO[str]:
+        existed = self.path.exists()
+        fh = open(self.path, "a", encoding="utf-8")
+        if not existed:
+            # A crash right after the first append could otherwise lose the
+            # whole file: the data was fsynced but its directory entry not.
+            try:
+                dir_fd = os.open(str(self.path.parent or Path(".")), os.O_RDONLY)
+            except OSError:
+                return fh  # exotic filesystem; appends are still fsynced
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
+        return fh
+
     def record(self, spec: RunSpec, point: SweepPoint, wall_time: float = 0.0) -> None:
         """Append one completed point (crash-safe: flush + fsync)."""
         doc = {
@@ -320,10 +374,23 @@ class SweepCheckpoint:
             "wall_time": wall_time,
             "point": asdict(point),
         }
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(doc, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        if self._fh is None or self._fh.closed:
+            self._fh = self._open()
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Release the append handle (idempotent; reopened on next record)."""
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __len__(self) -> int:
         return len(self.load())
@@ -447,7 +514,7 @@ class SweepReport:
         ``top`` bounds the ``slowest`` list (executed runs only, heaviest
         first, labelled by ``spec.label`` or the spec's canonical form).
         """
-        executed = [o for o in self.outcomes if not o.cached]
+        executed = [o for o in self.outcomes if not o.cached and not o.resumed]
         walls = [o.wall_time for o in executed]
         by_cost = sorted(executed, key=lambda o: o.wall_time, reverse=True)
         return SweepProfile(
@@ -500,6 +567,7 @@ def run_sweep(
     retry_backoff: Optional[float] = None,
     checkpoint: Optional[Union[str, Path, SweepCheckpoint]] = None,
     oversubscribe: bool = False,
+    on_outcome: Optional[Callable[[int, RunOutcome], None]] = None,
 ) -> SweepReport:
     """Execute every spec, in parallel when ``max_workers > 1``.
 
@@ -510,6 +578,12 @@ def run_sweep(
     order.  ``timeout``/``max_retries``/``retry_backoff``/``checkpoint``
     default to the module-level :class:`ResilienceConfig` (see
     :func:`set_default_resilience`).
+
+    ``on_outcome(index, outcome)`` is invoked in the parent process for
+    every finalized outcome — up-front cache/checkpoint hits immediately,
+    executed runs the moment their result lands (completion order, not spec
+    order).  The sweep service streams per-point progress through this
+    hook; it must not raise.
 
     Requesting more workers than the host has CPUs buys nothing for these
     CPU-bound simulations — it adds pool spin-up and scheduling overhead on
@@ -539,43 +613,63 @@ def run_sweep(
     if checkpoint is not None and not isinstance(checkpoint, SweepCheckpoint):
         checkpoint = SweepCheckpoint(checkpoint)
     restored = checkpoint.load() if checkpoint is not None else {}
+    emit = on_outcome or (lambda i, outcome: None)
 
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     todo: List[int] = []
     n_resumed = 0
-    for i, spec in enumerate(specs):
-        point = cache.get(spec) if cache is not None else None
-        if point is None and restored:
-            point = restored.get(spec.cache_key())
-            if point is not None:
-                n_resumed += 1
-                if cache is not None:
-                    cache.put(spec, point)  # promote into the cache
-        if point is not None:
-            outcomes[i] = RunOutcome(spec=spec, point=point, cached=True)
-        else:
-            todo.append(i)
-
     stats = _ExecutionStats()
-    if todo:
+    try:
+        for i, spec in enumerate(specs):
+            point = cache.get(spec) if cache is not None else None
+            from_cache = point is not None
+            if from_cache:
+                # Write the cache hit through to the manifest (unless it is
+                # already there): a later resume *without* the cache must
+                # still skip this point.
+                if checkpoint is not None and spec.cache_key() not in restored:
+                    checkpoint.record(spec, point)
+            elif restored:
+                point = restored.get(spec.cache_key())
+                if point is not None:
+                    n_resumed += 1
+                    if cache is not None:
+                        cache.put(spec, point)  # promote into the cache
+            if point is not None:
+                # A point found in both stores counts once — as a cache hit.
+                outcomes[i] = RunOutcome(
+                    spec=spec, point=point, cached=from_cache,
+                    resumed=not from_cache,
+                )
+                emit(i, outcomes[i])
+            else:
+                todo.append(i)
 
-        def commit(j: int, outcome: RunOutcome) -> None:
-            outcomes[todo[j]] = outcome
-            if outcome.ok:
-                if cache is not None:
-                    cache.put(outcome.spec, outcome.point)
-                if checkpoint is not None:
-                    checkpoint.record(outcome.spec, outcome.point, outcome.wall_time)
+        if todo:
 
-        _execute_all(
-            [specs[i] for i in todo],
-            effective_workers,
-            timeout=timeout,
-            max_retries=max_retries,
-            retry_backoff=retry_backoff,
-            on_result=commit,
-            stats=stats,
-        )
+            def commit(j: int, outcome: RunOutcome) -> None:
+                outcomes[todo[j]] = outcome
+                if outcome.ok:
+                    if cache is not None:
+                        cache.put(outcome.spec, outcome.point)
+                    if checkpoint is not None:
+                        checkpoint.record(
+                            outcome.spec, outcome.point, outcome.wall_time
+                        )
+                emit(todo[j], outcome)
+
+            _execute_all(
+                [specs[i] for i in todo],
+                effective_workers,
+                timeout=timeout,
+                max_retries=max_retries,
+                retry_backoff=retry_backoff,
+                on_result=commit,
+                stats=stats,
+            )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()  # release the fsynced append handle
 
     report = SweepReport(
         outcomes=list(outcomes),

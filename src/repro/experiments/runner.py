@@ -32,6 +32,7 @@ from repro.sim import (
     mean_slowdown,
     utilization,
 )
+from repro.sim.faults import FaultConfig, NodeFaultInjector, fault_rng
 from repro.sim.policies import Fcfs
 from repro.workload import Workload, scale_load
 
@@ -89,15 +90,30 @@ def run_point(
     policy: Optional[Policy] = None,
     seed: int = 0,
     collect_attempts: bool = False,
+    fault_config: Optional["FaultConfig"] = None,
+    spurious_failure_prob: float = 0.0,
 ) -> SimResult:
-    """One simulation run with the experiment defaults (FCFS, no spurious
-    failures, attempt trace off for speed)."""
+    """One simulation run with the experiment defaults (FCFS, attempt trace
+    off for speed).
+
+    ``fault_config`` switches on node-level fault injection; its RNG stream
+    derives from ``seed`` via :func:`repro.sim.faults.fault_rng` (exactly as
+    :func:`repro.sim.engine.simulate` does), so enabling faults never
+    reshuffles the failure model's draws.  ``spurious_failure_prob`` is the
+    §2.1 per-attempt false-positive probability.
+    """
+    injector = None
+    if fault_config is not None and fault_config.enabled:
+        injector = NodeFaultInjector(fault_config, rng=fault_rng(seed))
     return Simulation(
         workload=workload,
         cluster=cluster,
         estimator=estimator,
         policy=policy or Fcfs(),
-        failure_model=FailureModel(rng=seed),
+        failure_model=FailureModel(
+            rng=seed, spurious_failure_prob=spurious_failure_prob
+        ),
+        fault_injector=injector,
         collect_attempts=collect_attempts,
     ).run()
 

@@ -355,6 +355,36 @@ class PolicySpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """Simulation-level failure knobs of one run (all off by default).
+
+    ``node_mtbf`` is the per-node mean time between injected failures in
+    seconds (0 disables fault injection, matching the CLI's convention);
+    ``node_mttr`` the mean repair time; ``spurious`` the per-attempt
+    spurious-failure probability (§2.1 false positives).  The fault RNG
+    stream derives from the run's seed exactly as in
+    :func:`repro.sim.engine.simulate`, so a faulted spec reproduces the
+    direct-simulation result bit for bit.
+    """
+
+    node_mtbf: float = 0.0
+    node_mttr: float = 3600.0
+    spurious: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf < 0:
+            raise ValueError(f"node_mtbf must be >= 0, got {self.node_mtbf}")
+        if self.node_mttr <= 0:
+            raise ValueError(f"node_mttr must be positive, got {self.node_mttr}")
+        if not 0.0 <= self.spurious <= 1.0:
+            raise ValueError(f"spurious must be in [0, 1], got {self.spurious}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.node_mtbf > 0 or self.spurious > 0
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """One fully-described simulation run: the unit the sweep executor
     schedules, pickles into workers, and keys the result cache on."""
@@ -365,6 +395,7 @@ class RunSpec:
     policy: PolicySpec = field(default_factory=PolicySpec)
     seed: int = 0  # failure-model seed (fixed across load points of a sweep)
     label: str = ""
+    faults: FaultSpec = field(default_factory=FaultSpec)
 
     @property
     def load(self) -> float:
@@ -376,6 +407,10 @@ class RunSpec:
         the simulation result (``label`` is presentation-only and excluded)."""
         doc = asdict(self)
         doc.pop("label")
+        if not self.faults.enabled and self.faults == FaultSpec():
+            # Fault-free specs canonicalize exactly as before the ``faults``
+            # field existed, so every pre-existing cache entry stays valid.
+            doc.pop("faults")
         doc["estimator"]["kwargs"] = [list(kv) for kv in self.estimator.kwargs]
         doc["policy"]["kwargs"] = [list(kv) for kv in self.policy.kwargs]
         return doc

@@ -33,7 +33,7 @@ from repro.obs.base import (
     SimObserver,
 )
 from repro.obs.counters import CounterObserver
-from repro.obs.export import prometheus_text
+from repro.obs.export import exposition, prometheus_text
 from repro.obs.sampler import TimelineSampler
 from repro.obs.telemetry import (
     BackoffEvent,
@@ -46,6 +46,7 @@ from repro.obs.trace import (
     group_trajectories,
     read_trace,
     trace_counts,
+    trace_line,
 )
 
 __all__ = [
@@ -61,8 +62,10 @@ __all__ = [
     "SimObserver",
     "TRACE_SCHEMA_VERSION",
     "TimelineSampler",
+    "exposition",
     "group_trajectories",
     "prometheus_text",
     "read_trace",
     "trace_counts",
+    "trace_line",
 ]

@@ -6,26 +6,41 @@ text exposition format — ``# HELP`` / ``# TYPE`` comments followed by
 ``metric{labels} value`` lines — so a run summary can be dropped into any
 Prometheus-compatible scrape pipeline or diffed as plain text.
 
-Only the format is Prometheus'; there is no HTTP server here.  The export
-is a *snapshot of one finished run*: everything is emitted as a gauge.
+The format machinery is generic: :func:`exposition` renders any sequence
+of metric families (name, help text, labelled samples) — the sweep
+service's ``/metrics`` endpoint (:mod:`repro.service`) is built on it.
+:func:`prometheus_text` remains the one-finished-run snapshot (everything
+a gauge); there is no HTTP server in this module.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.sim.metrics import utilization, wasted_fraction
 from repro.sim.records import SimResult
 
 _PREFIX = "repro"
 
+#: One metric family: (name, help text, samples); each sample is a
+#: (labels, value) pair.  ``name`` is prefixed with ``repro_`` on render.
+MetricFamily = Tuple[
+    str, str, Sequence[Tuple[Mapping[str, str], Union[int, float]]]
+]
 
-def _sanitize_label(value: str) -> str:
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", " ")
 
 
-def _format_value(value: Union[int, float]) -> str:
+# Backwards-compatible private alias (pre-service name).
+_sanitize_label = escape_label_value
+
+
+def format_metric_value(value: Union[int, float]) -> str:
+    """Render a sample value (``NaN``/``+Inf``/``-Inf`` spelled Prometheus-style)."""
     if isinstance(value, float):
         if math.isnan(value):
             return "NaN"
@@ -33,6 +48,38 @@ def _format_value(value: Union[int, float]) -> str:
             return "+Inf" if value > 0 else "-Inf"
         return repr(value)
     return str(value)
+
+
+_format_value = format_metric_value
+
+
+def format_labels(labels: Mapping[str, object]) -> str:
+    """``key="value"`` pairs joined for a sample line (no surrounding braces)."""
+    return ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in labels.items()
+    )
+
+
+def exposition(families: Sequence[MetricFamily], kind: str = "gauge") -> str:
+    """Render metric families in the Prometheus text exposition format.
+
+    Every family gets its ``# HELP``/``# TYPE`` header once, followed by one
+    line per sample.  Families with no samples are omitted entirely (a
+    header without samples is legal but noise).
+    """
+    lines: List[str] = []
+    for name, help_text, samples in families:
+        if not samples:
+            continue
+        full = f"{_PREFIX}_{name}"
+        lines.append(f"# HELP {full} {help_text}")
+        lines.append(f"# TYPE {full} {kind}")
+        for labels, value in samples:
+            label_str = format_labels(labels)
+            braces = f"{{{label_str}}}" if label_str else ""
+            lines.append(f"{full}{braces} {format_metric_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def prometheus_text(
@@ -47,7 +94,7 @@ def prometheus_text(
     ``CounterObserver.snapshot()`` — is appended under
     ``repro_event_total{kind=...}`` / ``repro_gauge{name=...}``.
     """
-    labels = {
+    labels: Dict[str, str] = {
         "workload": result.workload_name,
         "cluster": result.cluster_name,
         "estimator": result.estimator_name,
@@ -55,9 +102,6 @@ def prometheus_text(
     }
     if extra_labels:
         labels.update(extra_labels)
-    label_str = ",".join(
-        f'{key}="{_sanitize_label(str(value))}"' for key, value in labels.items()
-    )
 
     metrics: List[tuple] = [
         ("jobs_total", "Jobs in the workload", result.n_jobs),
@@ -110,21 +154,15 @@ def prometheus_text(
         ),
     ]
 
-    lines: List[str] = []
-    for name, help_text, value in metrics:
-        full = f"{_PREFIX}_{name}"
-        lines.append(f"# HELP {full} {help_text}")
-        lines.append(f"# TYPE {full} gauge")
-        lines.append(f"{full}{{{label_str}}} {_format_value(value)}")
-
+    families: List[MetricFamily] = [
+        (name, help_text, [(labels, value)]) for name, help_text, value in metrics
+    ]
     if counters:
-        full = f"{_PREFIX}_observer_value"
-        lines.append(f"# HELP {full} Observer counter/gauge snapshot")
-        lines.append(f"# TYPE {full} gauge")
-        for key in sorted(counters):
-            sep = "," if label_str else ""
-            lines.append(
-                f'{full}{{{label_str}{sep}name="{_sanitize_label(key)}"}} '
-                f"{_format_value(counters[key])}"
+        families.append(
+            (
+                "observer_value",
+                "Observer counter/gauge snapshot",
+                [({**labels, "name": key}, counters[key]) for key in sorted(counters)],
             )
-    return "\n".join(lines) + "\n"
+        )
+    return exposition(families)

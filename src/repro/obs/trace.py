@@ -46,6 +46,18 @@ from repro.obs.base import RunMeta, SimObserver
 TRACE_SCHEMA_VERSION = 1
 
 
+def trace_line(doc: Dict) -> str:
+    """One compact, versioned JSONL trace line (no trailing newline).
+
+    Stamps the schema version if ``doc`` does not carry one, so any
+    versioned JSONL producer — the trace observer below, the sweep
+    service's progress stream — emits lines :func:`read_trace` accepts.
+    """
+    if "v" not in doc:
+        doc = {"v": TRACE_SCHEMA_VERSION, **doc}
+    return json.dumps(doc, separators=(",", ":"))
+
+
 class JsonlTraceObserver(SimObserver):
     """Writes one JSONL line per hook firing.
 
@@ -75,7 +87,7 @@ class JsonlTraceObserver(SimObserver):
     def _emit(self, t: float, event: str, **fields) -> None:
         doc = {"v": TRACE_SCHEMA_VERSION, "t": t, "event": event}
         doc.update(fields)
-        self._fh.write(json.dumps(doc, separators=(",", ":")) + "\n")
+        self._fh.write(trace_line(doc) + "\n")
         self.n_events += 1
 
     def close(self) -> None:
@@ -190,14 +202,18 @@ class JsonlTraceObserver(SimObserver):
 
 
 # ------------------------------------------------------------------ reading
-def read_trace(source: Union[str, Path, IO[str]]) -> Iterator[Dict]:
-    """Yield trace events from a JSONL file, skipping torn/foreign lines.
+def read_trace(
+    source: Union[str, Path, IO[str], Iterable[str]]
+) -> Iterator[Dict]:
+    """Yield trace events from JSONL, skipping torn/foreign lines.
 
-    Tolerates a truncated final line (a run killed mid-write) the same way
-    :class:`~repro.experiments.parallel.SweepCheckpoint` does.
+    ``source`` may be a path, an open text file, or any iterable of lines —
+    e.g. a list of chunks streamed from the sweep service's ``/events``
+    endpoint.  Tolerates a truncated final line (a run killed mid-write)
+    the same way :class:`~repro.experiments.parallel.SweepCheckpoint` does.
     """
     if isinstance(source, (str, Path)):
-        fh: IO[str] = open(source, "r", encoding="utf-8")
+        fh: Union[IO[str], Iterable[str]] = open(source, "r", encoding="utf-8")
         own = True
     else:
         fh, own = source, False

@@ -1,0 +1,47 @@
+"""Simulation-as-a-service: sweeps over HTTP, stdlib only.
+
+``repro serve`` (or :func:`serve`) exposes the sweep executor as a small
+asyncio HTTP API: submit a sweep (explicit :class:`~repro.experiments.specs.RunSpec`
+documents or a named experiment grid), poll its status, stream progress as
+chunked JSONL, fetch the full results + profile, and scrape Prometheus
+metrics.  Identical submissions are idempotent — in-flight sweeps are
+attached to, finished sweeps answer from the SHA-keyed result cache.
+
+Layering::
+
+    app.py        HTTP/1.1 on asyncio.start_server; ServiceThread harness
+    registry.py   run lifecycle, idempotent submit, worker-pool execution
+    streaming.py  per-run event log with multi-subscriber fan-out
+    schemas.py    JSON <-> RunSpec/report translation + validation
+    smoke.py      end-to-end self-check (CI runs this)
+"""
+
+from repro.service.app import ServiceConfig, ServiceThread, SweepService, serve
+from repro.service.registry import RunRecord, RunRegistry
+from repro.service.schemas import (
+    EXPERIMENT_BUILDERS,
+    MAX_SPECS_PER_SUBMISSION,
+    SchemaError,
+    parse_submission,
+    spec_from_dict,
+    spec_to_dict,
+    sweep_key,
+)
+from repro.service.streaming import EventLog
+
+__all__ = [
+    "EXPERIMENT_BUILDERS",
+    "EventLog",
+    "MAX_SPECS_PER_SUBMISSION",
+    "RunRecord",
+    "RunRegistry",
+    "SchemaError",
+    "ServiceConfig",
+    "ServiceThread",
+    "SweepService",
+    "parse_submission",
+    "serve",
+    "spec_from_dict",
+    "spec_to_dict",
+    "sweep_key",
+]

@@ -1,0 +1,92 @@
+"""Event fan-out for the sweep service: one log per run, many readers.
+
+An :class:`EventLog` is the run's progress history plus live fan-out: every
+event is kept (a late subscriber replays the whole story before going
+live), and every active subscriber gets each new event through its own
+``asyncio.Queue``.  All mutation happens on the event loop thread — worker
+threads publish via ``loop.call_soon_threadsafe`` (see
+:meth:`repro.service.registry.RunRegistry`) — so the log needs no locks:
+the snapshot-then-subscribe step in :meth:`subscribe` is atomic by virtue
+of never awaiting between the two.
+
+Events are plain dicts rendered as versioned JSONL lines
+(:func:`repro.obs.trace.trace_line` — the same framing as the engine's
+event traces, so :func:`repro.obs.read_trace` parses a streamed body
+directly), shipped over HTTP with chunked transfer encoding
+(:func:`encode_chunk`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Dict, List
+
+from repro.obs.trace import trace_line
+
+#: Sentinel pushed to subscriber queues when the log closes.
+_CLOSED = object()
+
+#: Terminal chunk of an HTTP chunked-encoded body.
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+def encode_chunk(payload: bytes) -> bytes:
+    """One HTTP/1.1 chunk: hex length, CRLF, payload, CRLF."""
+    return f"{len(payload):X}\r\n".encode("ascii") + payload + b"\r\n"
+
+
+def event_line(event: Dict) -> bytes:
+    """An event as one UTF-8 JSONL line (trace-compatible framing)."""
+    return (trace_line(event) + "\n").encode("utf-8")
+
+
+class EventLog:
+    """Append-only event history with live fan-out (loop-thread confined)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+        self._queues: List[asyncio.Queue] = []
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def publish(self, event: Dict) -> None:
+        """Record ``event`` and wake every live subscriber."""
+        if self._closed:
+            raise RuntimeError("EventLog is closed")
+        self.events.append(event)
+        for queue in self._queues:
+            queue.put_nowait(event)
+
+    def close(self) -> None:
+        """End the stream: subscribers finish after draining the history."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._queues:
+            queue.put_nowait(_CLOSED)
+        self._queues.clear()
+
+    async def subscribe(self) -> AsyncIterator[Dict]:
+        """Yield the full history, then live events until the log closes."""
+        # No await between the snapshot and the queue registration: a
+        # published event lands in exactly one of the two.
+        history = list(self.events)
+        queue: asyncio.Queue = asyncio.Queue() if not self._closed else None
+        if queue is not None:
+            self._queues.append(queue)
+        try:
+            for event in history:
+                yield event
+            if queue is None:
+                return
+            while True:
+                event = await queue.get()
+                if event is _CLOSED:
+                    return
+                yield event
+        finally:
+            if queue is not None and queue in self._queues:
+                self._queues.remove(queue)

@@ -1,0 +1,117 @@
+"""EventLog fan-out semantics and the chunked-JSONL wire helpers."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import TRACE_SCHEMA_VERSION, read_trace
+from repro.service.streaming import (
+    LAST_CHUNK,
+    EventLog,
+    encode_chunk,
+    event_line,
+)
+
+
+class TestWireHelpers:
+    def test_encode_chunk_frames_payload(self):
+        assert encode_chunk(b"hello") == b"5\r\nhello\r\n"
+        assert encode_chunk(b"x" * 26) == b"1A\r\n" + b"x" * 26 + b"\r\n"
+        assert LAST_CHUNK == b"0\r\n\r\n"
+
+    def test_event_line_is_versioned_jsonl(self):
+        line = event_line({"event": "run_started", "run_id": "abc"})
+        assert line.endswith(b"\n")
+        doc = json.loads(line)
+        assert doc["v"] == TRACE_SCHEMA_VERSION
+        assert doc["event"] == "run_started"
+
+    def test_event_lines_parse_with_read_trace(self):
+        lines = [
+            event_line({"event": "a"}).decode(),
+            "not json at all\n",  # torn line: skipped, not fatal
+            event_line({"event": "b"}).decode(),
+        ]
+        assert [d["event"] for d in read_trace(lines)] == ["a", "b"]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def collect(aiter, n=None):
+    out = []
+    async for item in aiter:
+        out.append(item)
+        if n is not None and len(out) == n:
+            break
+    return out
+
+
+class TestEventLog:
+    def test_late_subscriber_replays_history(self):
+        async def scenario():
+            log = EventLog()
+            log.publish({"event": "one"})
+            log.publish({"event": "two"})
+            log.close()
+            return await collect(log.subscribe())
+
+        events = run(scenario())
+        assert [e["event"] for e in events] == ["one", "two"]
+
+    def test_live_subscriber_sees_later_events(self):
+        async def scenario():
+            log = EventLog()
+            log.publish({"event": "historic"})
+
+            async def reader():
+                return await collect(log.subscribe())
+
+            task = asyncio.ensure_future(reader())
+            await asyncio.sleep(0)  # let the reader drain history
+            log.publish({"event": "live"})
+            log.close()
+            return await task
+
+        events = run(scenario())
+        assert [e["event"] for e in events] == ["historic", "live"]
+
+    def test_multiple_subscribers_each_get_everything(self):
+        async def scenario():
+            log = EventLog()
+            tasks = [
+                asyncio.ensure_future(collect(log.subscribe()))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            for i in range(5):
+                log.publish({"event": f"e{i}"})
+            log.close()
+            return await asyncio.gather(*tasks)
+
+        streams = run(scenario())
+        for events in streams:
+            assert [e["event"] for e in events] == [f"e{i}" for i in range(5)]
+
+    def test_publish_after_close_raises(self):
+        log = EventLog()
+        log.close()
+        assert log.closed
+        with pytest.raises(RuntimeError):
+            log.publish({"event": "too-late"})
+
+    def test_abandoned_subscriber_unregisters(self):
+        async def scenario():
+            log = EventLog()
+            log.publish({"event": "one"})
+            sub = log.subscribe()
+            await collect(sub, n=1)
+            await sub.aclose()  # client hung up mid-stream
+            assert log._queues == []
+            log.publish({"event": "two"})  # must not hit a dead queue
+            return log.events
+
+        events = run(scenario())
+        assert len(events) == 2

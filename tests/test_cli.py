@@ -148,3 +148,23 @@ class TestDesign:
         # All three candidates appear.
         for m in ("8", "16", "24"):
             assert m in out
+
+
+class TestServe:
+    def test_parser_accepts_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--host", "0.0.0.0", "--port", "0",
+                "--workers", "2", "--max-sweeps", "3", "--no-cache",
+            ]
+        )
+        assert args.host == "0.0.0.0"
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.max_sweeps == 3
+        assert args.no_cache
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8765
+        assert args.cache_dir is None
