@@ -14,11 +14,19 @@ benchmarks/engine_bench.py``).  Two measurements:
   host CPU count, and the pool spin-up time separately from simulation
   time.
 
-Results go to ``benchmarks/results/BENCH_engine.json`` (machine-readable)
-and the script exits non-zero if single-run throughput drops more than 10%
-below the recorded pre-optimization baseline in
-``benchmarks/results/engine_throughput.txt`` — the floor optimizations must
-never sink back under.
+* **batched** — the same configuration as K lock-step configs (varied
+  estimator alphas) through :func:`repro.sim.batch.simulate_batch`,
+  reporting amortized per-config jobs/s and the speedup over the scalar
+  single run, plus a bit-identity check of lane 0 against its scalar twin.
+
+Results go to ``benchmarks/results/BENCH_engine.json`` (machine-readable).
+The regression baseline is *read from that same file* (the
+``baseline_jobs_per_second`` field of the previous run), so the floor
+ratchets with the recorded history instead of a hardcoded source constant;
+``--rebaseline`` re-pins it to this run's measurement.  The script exits
+non-zero if single-run throughput drops more than 10% below the baseline,
+if the batched speedup at K=8 falls under 3x, or if the batched lane stops
+being bit-identical to the scalar engine.
 """
 
 from __future__ import annotations
@@ -40,16 +48,39 @@ from repro.experiments.specs import (
     RunSpec,
     WorkloadSpec,
 )
+from repro.sim.batch import BatchConfig, simulate_batch
 from repro.workload import drop_full_machine_jobs, lanl_cm5_like, scale_load
 
-#: jobs/s recorded for the seed engine (benchmarks/results/engine_throughput.txt)
-#: on the reference container, before the hot-path optimization pass.
-BASELINE_JOBS_PER_S = 24_905.0
+#: jobs/s recorded for the seed engine on the reference container, before
+#: the hot-path optimization pass.  Used only when BENCH_engine.json does
+#: not exist yet (first run on a fresh checkout).
+SEED_BASELINE_JOBS_PER_S = 24_905.0
 
 #: Fail the gate below this fraction of the baseline.
 REGRESSION_FLOOR = 0.9
 
+#: Minimum amortized per-config speedup for the batched block (ROADMAP
+#: stretch target is 5x; the acceptance floor is 3x).
+BATCHED_SPEEDUP_FLOOR = 3.0
+
+#: Per-lane successive-approximation alphas for the batched measurement —
+#: varied so the lanes genuinely diverge (different estimates, schedules,
+#: and failure patterns) instead of replaying one trajectory K times.
+#: Lane 0 keeps the estimator default (2.0) so it has an exact scalar twin
+#: for the bit-identity check.
+BATCHED_ALPHAS = (2.0, 1.5, 2.5, 3.0, 1.75, 2.25, 2.75, 4.0)
+
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_engine.json"
+
+
+def load_baseline(path: Path = RESULTS_PATH) -> float:
+    """The regression baseline: last recorded value in BENCH_engine.json,
+    falling back to the seed constant on a fresh checkout."""
+    try:
+        doc = json.loads(path.read_text())
+        return float(doc["baseline_jobs_per_second"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return SEED_BASELINE_JOBS_PER_S
 
 
 def bench_single_run(n_jobs: int, rounds: int, seed: int = 0) -> dict:
@@ -76,6 +107,60 @@ def bench_single_run(n_jobs: int, rounds: int, seed: int = 0) -> dict:
         "best_s": round(best, 4),
         "jobs_per_second": round(result.n_jobs / best, 1),
         "events_per_second": round(n_events / best, 1),
+    }
+
+
+def bench_batched(
+    n_jobs: int, k: int, rounds: int, seed: int = 0,
+    scalar_jobs_per_s: float = 0.0,
+) -> dict:
+    """K configs lock-step through simulate_batch, amortized per-config.
+
+    Matches the sweep executor's usage (``collect_attempts=False``); the
+    scalar comparison point is the single-run block measured by
+    :func:`bench_single_run` (same workload, same collection mode).
+    """
+    workload = scale_load(
+        drop_full_machine_jobs(lanl_cm5_like(n_jobs=n_jobs, seed=seed)), 0.8
+    )
+    n = len(workload.jobs)
+    times = []
+    results = None
+    for _ in range(rounds):
+        configs = [  # fresh estimator + cluster state per round
+            BatchConfig(
+                cluster=paper_cluster(24.0),
+                estimator=SuccessiveApproximation(
+                    alpha=BATCHED_ALPHAS[i % len(BATCHED_ALPHAS)]
+                ),
+                seed=seed,
+            )
+            for i in range(k)
+        ]
+        t0 = time.perf_counter()
+        results = simulate_batch(workload, configs, collect_attempts=False)
+        times.append(time.perf_counter() - t0)
+    best = min(times)
+    amortized = k * n / best
+    # Lane 0 runs the estimator default (alpha=2.0): its scalar twin is the
+    # plain run_point configuration, and the fingerprints must agree.
+    scalar_twin = run_point(
+        workload, paper_cluster(24.0), SuccessiveApproximation(), seed=seed
+    )
+    bit_identical = results[0].fingerprint() == scalar_twin.fingerprint()
+    return {
+        "k": k,
+        "n_jobs": n,
+        "rounds": rounds,
+        "alphas": list(BATCHED_ALPHAS[:k]),
+        "collect_attempts": False,
+        "times_s": [round(t, 4) for t in times],
+        "best_s": round(best, 4),
+        "amortized_jobs_per_second": round(amortized, 1),
+        "speedup_vs_single_run": (
+            round(amortized / scalar_jobs_per_s, 2) if scalar_jobs_per_s else None
+        ),
+        "bit_identical": bit_identical,
     }
 
 
@@ -124,6 +209,14 @@ def main(argv=None) -> int:
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--batch-k", type=int, default=8,
+        help="lane count for the batched measurement (default 8)",
+    )
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="re-pin the regression baseline to this run's jobs/s",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="tiny sizes, no regression gate (CI pipeline check)",
     )
@@ -134,23 +227,37 @@ def main(argv=None) -> int:
         args.sweep_jobs = min(args.sweep_jobs, 1_000)
         args.rounds = min(args.rounds, 2)
 
+    baseline = load_baseline()
     single = bench_single_run(args.jobs, args.rounds, args.seed)
+    batched = bench_batched(
+        args.jobs, args.batch_k, args.rounds, args.seed,
+        scalar_jobs_per_s=single["jobs_per_second"],
+    )
     sweep = bench_sweep(args.sweep_jobs, args.seed)
 
-    floor = BASELINE_JOBS_PER_S * REGRESSION_FLOOR
+    if args.rebaseline:
+        baseline = single["jobs_per_second"]
+    floor = baseline * REGRESSION_FLOOR
     gated = not args.smoke
+    single_ok = single["jobs_per_second"] >= floor
+    batched_ok = (
+        batched["bit_identical"]
+        and (batched["speedup_vs_single_run"] or 0.0) >= BATCHED_SPEEDUP_FLOOR
+    )
     doc = {
         "comment": (
             "machine-readable engine throughput gate; regenerate with "
-            "`make engine-bench`"
+            "`make engine-bench` (re-pin the baseline with --rebaseline)"
         ),
         "host_cpus": os.cpu_count() or 1,
         "single_run": single,
+        "batched": batched,
         "sweep": sweep,
-        "baseline_jobs_per_second": BASELINE_JOBS_PER_S,
+        "baseline_jobs_per_second": baseline,
         "regression_floor_jobs_per_second": round(floor, 1),
+        "batched_speedup_floor": BATCHED_SPEEDUP_FLOOR,
         "gated": gated,
-        "passed": (not gated) or single["jobs_per_second"] >= floor,
+        "passed": (not gated) or (single_ok and batched_ok),
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
@@ -159,6 +266,12 @@ def main(argv=None) -> int:
         f"engine : {single['jobs_per_second']:,.0f} jobs/s "
         f"({single['events_per_second']:,.0f} events/s; best of "
         f"{single['rounds']} x {single['n_jobs']} jobs, {single['best_s']}s)"
+    )
+    print(
+        f"batched: {batched['amortized_jobs_per_second']:,.0f} jobs/s "
+        f"amortized over K={batched['k']} lanes "
+        f"({batched['speedup_vs_single_run']}x vs single run; "
+        f"bit-identical: {batched['bit_identical']})"
     )
     print(
         f"sweep  : {sweep['serial_runs_per_second']:.2f} runs/s serial"
@@ -171,21 +284,39 @@ def main(argv=None) -> int:
         )
     )
     print(f"wrote  : {RESULTS_PATH}")
+    if args.rebaseline:
+        print(f"rebased: baseline re-pinned to {baseline:,.1f} jobs/s")
     if not gated:
         print("gate   : skipped (smoke mode)")
         return 0
-    if not doc["passed"]:
+    if not batched["bit_identical"]:
+        print(
+            "FAIL: batched lane 0 is no longer bit-identical to its scalar "
+            "twin — the fast lane has diverged from the reference engine",
+            file=sys.stderr,
+        )
+        return 1
+    if not single_ok:
         print(
             f"FAIL: {single['jobs_per_second']:,.0f} jobs/s is below the "
             f"regression floor {floor:,.0f} jobs/s "
             f"({REGRESSION_FLOOR:.0%} of the recorded baseline "
-            f"{BASELINE_JOBS_PER_S:,.0f})",
+            f"{baseline:,.0f})",
+            file=sys.stderr,
+        )
+        return 1
+    if not batched_ok:
+        print(
+            f"FAIL: batched speedup {batched['speedup_vs_single_run']}x at "
+            f"K={batched['k']} is below the {BATCHED_SPEEDUP_FLOOR:g}x floor",
             file=sys.stderr,
         )
         return 1
     print(
-        f"PASS: above the {REGRESSION_FLOOR:.0%} regression floor of the "
-        f"recorded {BASELINE_JOBS_PER_S:,.0f} jobs/s baseline"
+        f"PASS: single run above the {REGRESSION_FLOOR:.0%} floor of the "
+        f"recorded {baseline:,.0f} jobs/s baseline; batched "
+        f"{batched['speedup_vs_single_run']}x >= "
+        f"{BATCHED_SPEEDUP_FLOOR:g}x at K={batched['k']}"
     )
     return 0
 

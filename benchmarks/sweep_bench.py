@@ -48,9 +48,14 @@ PRE_WALL_S = 22.59
 PRE_RUNS_PER_S = 0.885
 PRE_PEAK_WORKER_RSS_KB = 74_208
 
-#: runs/s recorded for the columnar data plane on the reference container
-#: (same configuration) — the regression baseline this gate enforces.
-BASELINE_RUNS_PER_S = 1.63
+#: runs/s recorded for the columnar data plane with lock-step batching
+#: (the batched engine advancing same-trace spec pairs together) on the
+#: reference container — the regression baseline this gate enforces.
+#: Typical measurements land at 5.7-6.1 runs/s with occasional ~4.6
+#: outliers (single-CPU container noise), so the baseline is pinned
+#: below the typical band; pre-batching the same configuration measured
+#: 1.63 runs/s, far under the 90% floor either way.
+BASELINE_RUNS_PER_S = 5.0
 
 #: Fail the gate below this fraction of the baseline.
 REGRESSION_FLOOR = 0.9
@@ -77,13 +82,18 @@ def fig5_specs(cfg: ExperimentConfig, n_jobs: int, loads=None) -> list:
     ]
 
 
-def bench_sweep(workers: int, n_jobs: int, loads=None) -> dict:
+def bench_sweep(
+    workers: int, n_jobs: int, loads=None, batch_size=None
+) -> dict:
     cfg = ExperimentConfig()
     specs = fig5_specs(cfg, n_jobs, loads)
     t0 = time.perf_counter()
-    report = run_sweep(specs, max_workers=workers, oversubscribe=True)
+    report = run_sweep(
+        specs, max_workers=workers, oversubscribe=True, batch_size=batch_size
+    )
     wall = time.perf_counter() - t0
     report.points()  # raises with full tracebacks if any spec failed
+    profile = report.profile()
     return {
         "n_specs": len(specs),
         "n_jobs_each": n_jobs,
@@ -95,6 +105,8 @@ def bench_sweep(workers: int, n_jobs: int, loads=None) -> dict:
         "peak_worker_rss_kb": report.peak_worker_rss_kb,
         "n_retries": report.n_retries,
         "n_pool_rebuilds": report.n_pool_rebuilds,
+        "n_batched_runs": profile.n_batched,
+        "mean_batch_width": round(profile.mean_batch_width, 2),
     }
 
 
@@ -106,6 +118,13 @@ def main(argv=None) -> int:
         help="trace size per spec (default: the Figure 5 configuration)",
     )
     parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help=(
+            "same-trace lock-step batch width for the executor "
+            "(default: $REPRO_BATCH_SIZE, else 4; 1 disables batching)"
+        ),
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="tiny grid, no regression gate (CI pipeline check)",
     )
@@ -113,9 +132,10 @@ def main(argv=None) -> int:
 
     if args.smoke:
         sweep = bench_sweep(args.workers, n_jobs=min(args.jobs, 1500),
-                            loads=(0.8, 1.0))
+                            loads=(0.8, 1.0), batch_size=args.batch_size)
     else:
-        sweep = bench_sweep(args.workers, n_jobs=args.jobs)
+        sweep = bench_sweep(args.workers, n_jobs=args.jobs,
+                            batch_size=args.batch_size)
 
     floor = BASELINE_RUNS_PER_S * REGRESSION_FLOOR
     gated = not args.smoke and args.jobs == ExperimentConfig().n_jobs
@@ -147,6 +167,10 @@ def main(argv=None) -> int:
         f"{sweep['wall_s']}s = {sweep['runs_per_second']:.3f} runs/s "
         f"({sweep['workers']} workers on {sweep['host_cpus']} CPU(s), "
         f"spin-up {sweep['pool_spinup_s']}s)"
+    )
+    print(
+        f"batch  : {sweep['n_batched_runs']}/{sweep['n_specs']} runs in "
+        f"lock-step batches (mean width {sweep['mean_batch_width']})"
     )
     print(
         f"memory : peak worker RSS {sweep['peak_worker_rss_kb']:,} KB "

@@ -79,8 +79,10 @@ from repro.experiments.specs import (
     materialize_base_workload,
     trim_materialized_workloads,
 )
+from repro.sim.batch import BatchConfig, simulate_batch
 from repro.sim.faults import FaultConfig
 from repro.sim.metrics import mean_slowdown, utilization
+from repro.sim.records import SimResult
 
 try:  # POSIX-only; on platforms without it RSS reports as 0
     import resource as _resource
@@ -98,6 +100,51 @@ _POOL_UNAVAILABLE = (OSError, ImportError, PermissionError)
 
 #: Backoff delays are capped so a high retry count cannot stall a sweep.
 _BACKOFF_CAP = 30.0
+
+#: Built-in ceiling on how many specs ride in one same-trace batch.  Large
+#: enough to amortize the future round-trip, the worker's base
+#: materialization, and the lock-step engine's shared arrival decode; small
+#: enough that the sliding window still load-balances a short sweep.
+_MAX_BATCH = 4
+
+#: Process-wide override installed by :func:`set_default_batch_size`
+#: (``None`` means "use the environment / built-in default").
+_BATCH_SIZE_OVERRIDE: Optional[int] = None
+
+
+def default_batch_size() -> int:
+    """The sweep batch width used when ``run_sweep`` is not told otherwise.
+
+    Resolution order: :func:`set_default_batch_size` override, then the
+    ``REPRO_BATCH_SIZE`` environment variable, then the built-in ceiling
+    (``4``).  Invalid environment values are ignored with a warning rather
+    than failing the sweep.
+    """
+    if _BATCH_SIZE_OVERRIDE is not None:
+        return _BATCH_SIZE_OVERRIDE
+    env = os.environ.get("REPRO_BATCH_SIZE", "").strip()
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            logger.warning("ignoring non-integer REPRO_BATCH_SIZE=%r", env)
+        else:
+            if value >= 1:
+                return value
+            logger.warning("ignoring non-positive REPRO_BATCH_SIZE=%d", value)
+    return _MAX_BATCH
+
+
+def set_default_batch_size(size: Optional[int]) -> Optional[int]:
+    """Install a process-wide sweep batch width; returns the previous
+    override.  ``None`` restores the environment/built-in default.  The
+    CLI's ``--batch-size`` flag lands here."""
+    global _BATCH_SIZE_OVERRIDE
+    if size is not None and size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    previous = _BATCH_SIZE_OVERRIDE
+    _BATCH_SIZE_OVERRIDE = size
+    return previous
 
 
 @dataclass(frozen=True)
@@ -121,6 +168,10 @@ class RunOutcome:
     #: the run finished — the sweep-level peak is the memory a worker
     #: actually needs (0 for cache hits and platforms without getrusage).
     worker_rss_kb: int = 0
+    #: Lanes of the lock-step batch this run executed in (1 = plain scalar
+    #: execution; >1 = :func:`repro.sim.batch.simulate_batch` with that many
+    #: same-trace configs advancing together).
+    batch_width: int = 1
 
     @property
     def ok(self) -> bool:
@@ -131,26 +182,15 @@ class SweepError(RuntimeError):
     """Raised when results are demanded from a sweep with failed points."""
 
 
-def simulate_spec(spec: RunSpec) -> SweepPoint:
-    """Materialize ``spec`` and run its simulation to one sweep point.
-
-    This is the single execution path shared by the serial loop and the
-    pool workers, which is what guarantees worker/in-process parity.
-    """
-    fault_config = None
+def _spec_fault_config(spec: RunSpec) -> Optional[FaultConfig]:
     if spec.faults.node_mtbf > 0:
-        fault_config = FaultConfig(
+        return FaultConfig(
             node_mtbf=spec.faults.node_mtbf, node_mttr=spec.faults.node_mttr
         )
-    result = run_point(
-        spec.workload.materialize(),
-        spec.cluster.materialize(),
-        spec.estimator.materialize(),
-        policy=spec.policy.materialize(),
-        seed=spec.seed,
-        fault_config=fault_config,
-        spurious_failure_prob=spec.faults.spurious,
-    )
+    return None
+
+
+def _result_to_point(spec: RunSpec, result: SimResult) -> SweepPoint:
     return SweepPoint(
         load=float(spec.load),
         utilization=utilization(result),
@@ -158,6 +198,37 @@ def simulate_spec(spec: RunSpec) -> SweepPoint:
         frac_failed_executions=result.frac_failed_executions,
         frac_reduced_submissions=result.frac_reduced_submissions,
         wasted_node_seconds=result.wasted_node_seconds,
+    )
+
+
+def simulate_spec(spec: RunSpec) -> SweepPoint:
+    """Materialize ``spec`` and run its simulation to one sweep point.
+
+    This is the single execution path shared by the serial loop and the
+    pool workers, which is what guarantees worker/in-process parity.
+    """
+    result = run_point(
+        spec.workload.materialize(),
+        spec.cluster.materialize(),
+        spec.estimator.materialize(),
+        policy=spec.policy.materialize(),
+        seed=spec.seed,
+        fault_config=_spec_fault_config(spec),
+        spurious_failure_prob=spec.faults.spurious,
+    )
+    return _result_to_point(spec, result)
+
+
+def _spec_batch_config(spec: RunSpec) -> BatchConfig:
+    """The :func:`simulate_batch` lane configuration equivalent to
+    :func:`simulate_spec`'s scalar run (same seeds, same knobs)."""
+    return BatchConfig(
+        cluster=spec.cluster.materialize(),
+        estimator=spec.estimator.materialize(),
+        policy=spec.policy.materialize(),
+        seed=spec.seed,
+        spurious_failure_prob=spec.faults.spurious,
+        fault_config=_spec_fault_config(spec),
     )
 
 
@@ -242,11 +313,55 @@ def execute_batch(specs: Sequence[RunSpec]) -> List[RunOutcome]:
     sharing a base workload travel together, so one worker amortizes a
     single base materialization (or shared-memory attach) across the whole
     batch and the executor pays one future round-trip instead of one per
-    spec.  Execution semantics are per-spec and unchanged — each spec's
-    outcome captures its own error/wall-time exactly as ``execute_spec``
-    would have.
+    spec.
+
+    Specs sharing the *same* workload (identical ``WorkloadSpec``,
+    including the load scaling) additionally advance in lock-step through
+    :func:`repro.sim.batch.simulate_batch` — one shared arrival decode and
+    event frontier for the whole group.  The batched engine is gated
+    bit-identical to the scalar one (``tests/sim/test_engine_fingerprints``),
+    so results are exactly what per-spec execution would have produced; the
+    group's wall clock is split evenly across its members and each outcome
+    records the ``batch_width`` it ran at.  Any failure inside a lock-step
+    group falls back to per-spec execution, so one bad spec reports its own
+    error instead of sinking its batch-mates.
     """
-    return [execute_spec(spec) for spec in specs]
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    groups: Dict[object, List[int]] = {}
+    for idx, spec in enumerate(specs):
+        groups.setdefault(spec.workload, []).append(idx)
+    for indices in groups.values():
+        if len(indices) == 1:
+            outcomes[indices[0]] = execute_spec(specs[indices[0]])
+            continue
+        members = [specs[idx] for idx in indices]
+        t0 = time.perf_counter()
+        try:
+            workload = members[0].workload.materialize()
+            configs = [_spec_batch_config(spec) for spec in members]
+            results = simulate_batch(workload, configs, collect_attempts=False)
+            wall = (time.perf_counter() - t0) / len(indices)
+            rss = _peak_rss_kb()
+            for idx, spec, result in zip(indices, members, results):
+                outcomes[idx] = RunOutcome(
+                    spec=spec,
+                    point=_result_to_point(spec, result),
+                    wall_time=wall,
+                    worker_rss_kb=rss,
+                    batch_width=len(indices),
+                )
+        except Exception as exc:
+            logger.warning(
+                "lock-step batch of %d specs failed (%s); re-running "
+                "per-spec to isolate the failure",
+                len(indices),
+                exc,
+            )
+            for idx in indices:
+                outcomes[idx] = execute_spec(specs[idx])
+        finally:
+            trim_materialized_workloads()
+    return outcomes
 
 
 # --------------------------------------------------------------- resilience
@@ -419,6 +534,10 @@ class SweepProfile:
     n_pool_rebuilds: int
     n_resumed: int
     slowest: Tuple[Tuple[str, float], ...] = ()
+    #: Executed runs that advanced in a lock-step batch (``batch_width > 1``).
+    n_batched: int = 0
+    #: Mean ``batch_width`` across executed runs (1.0 = all scalar).
+    mean_batch_width: float = 1.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -432,6 +551,8 @@ class SweepProfile:
             f"wall time   : {self.total_wall_time:.2f}s total across workers "
             f"(mean {self.mean_wall_time:.2f}s, max {self.max_wall_time:.2f}s "
             f"per executed run)",
+            f"batching    : {self.n_batched}/{self.n_executed} executed runs "
+            f"in lock-step batches (mean width {self.mean_batch_width:.2f})",
             f"resilience  : {self.total_retries} retries, "
             f"{self.n_timeouts} timeouts, {self.n_pool_rebuilds} pool rebuilds, "
             f"{self.n_resumed} resumed from checkpoint",
@@ -533,6 +654,12 @@ class SweepReport:
                 (o.spec.label or o.spec.canonical(), o.wall_time)
                 for o in by_cost[: max(top, 0)]
             ),
+            n_batched=sum(1 for o in executed if o.batch_width > 1),
+            mean_batch_width=(
+                float(sum(o.batch_width for o in executed)) / len(executed)
+                if executed
+                else 1.0
+            ),
         )
 
     def summary(self) -> str:
@@ -568,8 +695,14 @@ def run_sweep(
     checkpoint: Optional[Union[str, Path, SweepCheckpoint]] = None,
     oversubscribe: bool = False,
     on_outcome: Optional[Callable[[int, RunOutcome], None]] = None,
+    batch_size: Optional[int] = None,
 ) -> SweepReport:
     """Execute every spec, in parallel when ``max_workers > 1``.
+
+    ``batch_size`` caps how many same-trace specs advance lock-step through
+    :func:`repro.sim.batch.simulate_batch` per execution unit (1 disables
+    batching); it defaults to :func:`default_batch_size` (the
+    ``REPRO_BATCH_SIZE`` environment variable / ``--batch-size`` CLI flag).
 
     Cache and checkpoint lookups happen up front in the parent process;
     only misses are dispatched, and each result is written back the moment
@@ -610,6 +743,10 @@ def run_sweep(
         defaults.retry_backoff if retry_backoff is None else retry_backoff
     )
     checkpoint = defaults.checkpoint if checkpoint is None else checkpoint
+    if batch_size is None:
+        batch_size = default_batch_size()
+    elif batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if checkpoint is not None and not isinstance(checkpoint, SweepCheckpoint):
         checkpoint = SweepCheckpoint(checkpoint)
     restored = checkpoint.load() if checkpoint is not None else {}
@@ -666,6 +803,7 @@ def run_sweep(
                 retry_backoff=retry_backoff,
                 on_result=commit,
                 stats=stats,
+                batch_size=batch_size,
             )
     finally:
         if checkpoint is not None:
@@ -715,6 +853,31 @@ def _run_with_retries(
     return replace(outcome, retries=attempt) if attempt else outcome
 
 
+def _same_workload_batches(
+    specs: Sequence[RunSpec], batch_size: int
+) -> List[List[int]]:
+    """Spec indices chunked into same-workload batches of ``batch_size``.
+
+    Grouping is by the *full* ``WorkloadSpec`` (base trace **and** load
+    scaling), since only specs over the identical materialized workload can
+    share a lock-step arrival stream.  Batches come back ordered by their
+    first member, so execution stays in near-spec order.
+    """
+    if batch_size <= 1:
+        return [[j] for j in range(len(specs))]
+    groups: Dict[object, List[int]] = {}
+    for j, spec in enumerate(specs):
+        groups.setdefault(spec.workload, []).append(j)
+    batches: List[List[int]] = []
+    for indices in groups.values():
+        batches.extend(
+            indices[i : i + batch_size]
+            for i in range(0, len(indices), batch_size)
+        )
+    batches.sort(key=lambda batch: batch[0])
+    return batches
+
+
 def _execute_all(
     specs: Sequence[RunSpec],
     max_workers: int,
@@ -723,11 +886,14 @@ def _execute_all(
     retry_backoff: float = 0.25,
     on_result: Optional[Callable[[int, RunOutcome], None]] = None,
     stats: Optional[_ExecutionStats] = None,
+    batch_size: Optional[int] = None,
 ) -> List[RunOutcome]:
     """Execute ``specs``, invoking ``on_result(index, outcome)`` as each
     lands (indices are positions in ``specs``; completion order is
     arbitrary).  Returns the outcomes in ``specs`` order."""
     stats = stats if stats is not None else _ExecutionStats()
+    if batch_size is None:
+        batch_size = default_batch_size()
     results: List[Optional[RunOutcome]] = [None] * len(specs)
     emit = on_result or (lambda j, outcome: None)
 
@@ -744,19 +910,35 @@ def _execute_all(
             retry_backoff=retry_backoff,
             finish=finish,
             stats=stats,
+            batch_size=batch_size,
         ).run()
     else:
         rng = random.Random(0x0B0FF)
-        for j, spec in enumerate(specs):
-            finish(j, _run_with_retries(spec, max_retries, retry_backoff, stats, rng))
+        for batch in _same_workload_batches(specs, batch_size):
+            if len(batch) == 1:
+                j = batch[0]
+                finish(
+                    j,
+                    _run_with_retries(
+                        specs[j], max_retries, retry_backoff, stats, rng
+                    ),
+                )
+                continue
+            outcomes = execute_batch([specs[j] for j in batch])
+            for j, outcome in zip(batch, outcomes):
+                # Same bounded-retry policy as the singleton path; retries
+                # re-run the spec alone (matching the pool's convention that
+                # retries always travel outside batches).
+                attempt = 0
+                while not outcome.ok and attempt < max_retries:
+                    attempt += 1
+                    stats.n_retries += 1
+                    time.sleep(_backoff_delay(retry_backoff, attempt, rng))
+                    outcome = execute_spec(specs[j])
+                finish(
+                    j, replace(outcome, retries=attempt) if attempt else outcome
+                )
     return results
-
-
-#: Ceiling on how many specs ride in one pool batch: large enough to
-#: amortize the future round-trip and the worker's base materialization,
-#: small enough that the sliding window still load-balances a short sweep
-#: across every worker.
-_MAX_BATCH = 4
 
 
 class _PoolExecution:
@@ -794,6 +976,7 @@ class _PoolExecution:
         retry_backoff: float,
         finish: Callable[[int, RunOutcome], None],
         stats: _ExecutionStats,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.specs = specs
         self.workers = workers
@@ -802,6 +985,9 @@ class _PoolExecution:
         self.retry_backoff = retry_backoff
         self.finish = finish
         self.stats = stats
+        self.batch_size = (
+            default_batch_size() if batch_size is None else batch_size
+        )
         n = len(specs)
         self.todo: deque = deque(self._initial_batches())
         self.pending: Dict[Future, List[int]] = {}
@@ -819,24 +1005,18 @@ class _PoolExecution:
         self.shm_store = SharedBaseStore()
 
     def _initial_batches(self) -> List[List[int]]:
-        """Spec indices grouped by base workload, in near-spec order."""
+        """Spec indices grouped by workload, in near-spec order.
+
+        Grouping is by the full ``WorkloadSpec`` so every batch can advance
+        lock-step through ``simulate_batch`` (same-workload members), and
+        chunks run at the configured width — a wider batch amortizes the
+        shared arrival decode better, which now beats the old
+        spread-thin-for-scheduling heuristic.  With a per-spec ``timeout``
+        every batch is a singleton (see the class docstring).
+        """
         if self.timeout is not None:
             return [[j] for j in range(len(self.specs))]
-        groups: Dict[Tuple, List[int]] = {}
-        for j, spec in enumerate(self.specs):
-            groups.setdefault(spec.workload.base_key(), []).append(j)
-        batches: List[List[int]] = []
-        for indices in groups.values():
-            # ~2 batches per worker from each group keeps the window busy
-            # while the last batches drain.
-            size = max(
-                1, min(_MAX_BATCH, -(-len(indices) // (2 * self.workers)))
-            )
-            batches.extend(
-                indices[i : i + size] for i in range(0, len(indices), size)
-            )
-        batches.sort(key=lambda batch: batch[0])
-        return batches
+        return _same_workload_batches(self.specs, self.batch_size)
 
     # Quarantine after more pool crashes than plausible for a bystander.
     @property

@@ -38,6 +38,7 @@ from repro.sim.multi import (
 from repro.sim.records import AttemptRecord, JobSummary, SimResult, TimelineSample
 from repro.sim.policies import EasyBackfilling, Fcfs, Policy, ShortestJobFirst
 from repro.sim.engine import Simulation, simulate
+from repro.sim.batch import BatchConfig, simulate_batch
 from repro.sim.metrics import (
     SaturationPoint,
     bounded_slowdown,

@@ -1,0 +1,821 @@
+"""Array-native batched engine: advance K configs over one trace lock-step.
+
+A parameter sweep replays the *same* arrival stream through the scalar
+engine once per (estimator, policy, cluster, fault) configuration; at ~35k
+jobs/s the event loop — not the arrival decode — dominates, and every config
+pays it in full.  :func:`simulate_batch` amortizes the shared work: arrivals
+are decoded **vectorized from** :class:`~repro.workload.columns.JobColumns`
+(``.tolist()`` column lists; no per-:class:`~repro.workload.job.Job` object
+on the hot path), one merged event frontier advances all K configs in
+lock-step, and each config keeps array-backed queue/cluster/estimator-group
+state instead of the scalar engine's per-event object graph.
+
+Two lane implementations sit behind one driver:
+
+* **Fast lane** — the paper's hot configuration (FCFS + best-fit cluster +
+  :class:`~repro.core.baselines.NoEstimation` or default-keyed
+  :class:`~repro.core.successive.SuccessiveApproximation`, spurious failures
+  allowed, no fault injection / observer / timeline).  Queue entries are
+  small mutable lists over row indices, allocation is a free-count list per
+  capacity level, and the successive-approximation group state of all K
+  lanes is seeded as one ``(K, n_groups)`` NumPy matrix (vectorized
+  ``np.unique`` similarity-group resolution) whose rows become the per-lane
+  working arrays.  Estimate/observe/outcome are inlined with the exact
+  float-op order of the scalar code, so results are bit-identical.
+* **Engine lane** — every other configuration (other estimators/policies,
+  fault injection, observers, timeline recording) wraps a scalar
+  :class:`~repro.sim.engine.Simulation` via its streaming API
+  (``begin_stream``/``stream_arrival``/``step_internal``/``end_stream``),
+  which replays ``run()``'s per-event sequence verbatim.  Slower, but the
+  bit-identical guarantee holds for the *whole* configuration space.
+
+The merged frontier preserves the scalar event order per lane: arrivals are
+shared and fire from a sorted cursor; internal events (completions, node
+faults/repairs) live on per-lane heaps keyed ``(time, kind)`` exactly as the
+scalar heap orders them, and a heap event beats an arrival at the same
+instant iff its kind sorts before ``EventKind.ARRIVAL`` — the scalar
+tie-break.  Within a lane, same-key events fire in push order, which is the
+scalar seq order.  Cross-lane order is irrelevant: lanes share no state.
+
+Every batched config is guaranteed to produce a :class:`SimResult`
+bit-identical (see :meth:`SimResult.fingerprint`) to
+:func:`repro.sim.engine.simulate` with the same parameters; the fingerprint
+suite in ``tests/sim/test_engine_fingerprints.py`` gates this.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left as _bisect_left
+from dataclasses import dataclass
+from collections import deque
+from heapq import heappush as _heappush, heappop as _heappop
+from math import isfinite as _isfinite, inf as _inf
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.base import Estimator
+from repro.core.baselines import NoEstimation
+from repro.core.successive import SuccessiveApproximation
+from repro.obs.base import SimObserver
+from repro.sim.engine import Simulation
+from repro.sim.failure import FailureModel
+from repro.sim.faults import FaultConfig, NodeFaultInjector, fault_rng
+from repro.sim.policies import Fcfs, Policy
+from repro.sim.records import AttemptRecord, JobSummary, SimResult
+from repro.similarity.keys import by_user_app_reqmem
+from repro.util.rng import RngStream, as_generator
+from repro.workload.job import Workload
+
+#: Same expression as successive.py's retry-floor bump, evaluated once.
+_ONE_PLUS_EPS = 1 + 1e-12
+
+#: Heap-entry kind of an arrival in the merged frontier's tie-break — the
+#: scalar heap's ``int(EventKind.ARRIVAL)``.
+_ARRIVAL_KIND = 2
+
+
+@dataclass
+class BatchConfig:
+    """One lane of a batched run: everything :func:`simulate` takes except
+    the (shared) workload.  ``record_timeline``/``observer`` force the lane
+    onto the engine path; the defaults keep it eligible for the fast lane.
+    """
+
+    cluster: Cluster
+    estimator: Optional[Estimator] = None
+    policy: Optional[Policy] = None
+    seed: RngStream = 0
+    spurious_failure_prob: float = 0.0
+    fault_config: Optional[FaultConfig] = None
+    record_timeline: bool = False
+    observer: Optional[SimObserver] = None
+
+
+class _SharedTrace:
+    """The batch's shared arrival stream, decoded once from ``JobColumns``.
+
+    ``.tolist()`` conversion is a single vectorized pass per column; the
+    resulting plain-Python lists index faster than NumPy scalars in the
+    per-event loops.  ``Job`` objects are materialized lazily and only when
+    something off the hot path needs them (engine lanes, result assembly).
+    """
+
+    __slots__ = (
+        "workload", "columns", "n", "submit", "run_time", "procs",
+        "req_mem", "used_mem", "job_id", "_jobs", "_groups",
+    )
+
+    def __init__(self, workload: Workload) -> None:
+        self.workload = workload
+        cols = workload.as_columns()
+        self.columns = cols
+        self.n = len(cols)
+        self.submit: List[float] = cols.submit_time.tolist()
+        self.run_time: List[float] = cols.run_time.tolist()
+        self.procs: List[int] = cols.procs.tolist()
+        self.req_mem: List[float] = cols.req_mem.tolist()
+        self.used_mem: List[float] = cols.used_mem.tolist()
+        self.job_id: List[int] = cols.job_id.tolist()
+        self._jobs = None
+        self._groups = None
+
+    def jobs(self) -> list:
+        """Row-aligned ``Job`` objects (arrival order); built on first use."""
+        if self._jobs is None:
+            self._jobs = list(self.workload)
+        return self._jobs
+
+    def group_info(self) -> Tuple[List[int], np.ndarray]:
+        """Vectorized similarity-group resolution for the paper's key.
+
+        Returns ``(gid, group_req)``: per-row group ids and the per-group
+        request (every member of a ``(user, app, req_mem)`` group shares its
+        ``req_mem`` by construction).  One ``np.unique`` over a structured
+        view replaces the scalar estimator's per-job dict probes.
+        """
+        if self._groups is None:
+            cols = self.columns
+            keys = np.empty(
+                self.n, dtype=[("u", np.int64), ("a", np.int64), ("r", np.float64)]
+            )
+            keys["u"] = cols.user_id
+            keys["a"] = cols.app_id
+            keys["r"] = cols.req_mem
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            self._groups = (inverse.tolist(), uniq["r"].astype(np.float64))
+        return self._groups
+
+
+def seed_group_arrays(
+    trace: _SharedTrace, alphas: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Seed Algorithm 1's group state for K lanes as ``(K, n_groups)`` arrays.
+
+    Lines 3-4 of Algorithm 1 open each group with ``E_i = R`` and
+    ``alpha_i = alpha``; pre-seeding every group (rather than lazily on
+    first member) is observationally identical since an untouched group's
+    state equals its seed.  Returns ``(estimate, alpha, group_req)`` where
+    the first two are ``(K, G)`` float64 matrices and ``group_req`` is the
+    shared ``(G,)`` request vector.
+    """
+    _, group_req = trace.group_info()
+    n_groups = group_req.shape[0]
+    k = len(alphas)
+    estimate = np.tile(group_req, (k, 1))
+    alpha = np.repeat(
+        np.asarray(alphas, dtype=np.float64)[:, None], n_groups, axis=1
+    ) if n_groups else np.empty((k, 0), dtype=np.float64)
+    return estimate, alpha, group_req
+
+
+class _FastLane:
+    """Array-backed FCFS/best-fit lane, bit-identical to the scalar engine.
+
+    Hot state is plain lists (free counts per level, per-row counters,
+    group-state rows handed down from the ``(K, G)`` seed matrices); queue
+    entries are mutable ``[row, attempt, requirement, enqueue_time,
+    req_version]`` lists; completions are raw heap tuples.  Attempt records
+    and job summaries are assembled *after* the run from accumulated
+    scalars, so the per-event path allocates almost nothing.
+    """
+
+    __slots__ = (
+        "trace", "cluster", "est", "spurious", "uniform", "random",
+        "c_procs", "c_req_mem", "c_run_time", "c_used_mem", "c_job_id",
+        "levels", "nlev", "free", "totals", "total_suffix",
+        "idx_memo", "queue", "heap", "seq",
+        "mode_none", "refresh", "gid", "gest", "galpha", "greq",
+        "glast_safe", "gprobe", "gsafe_fail", "gver", "failed_at",
+        "alpha0", "beta", "serial_probing", "explicit_guard",
+        "max_reduced", "mixed_threshold",
+        "n_att", "n_resfail", "wasted_job", "final_start", "final_end",
+        "final_req", "final_granted", "final_reduced", "completed", "dead",
+        "rejected_rows", "raw_attempts", "collect",
+        "n_attempts", "n_resource_failures", "n_spurious", "n_reduced",
+        "useful", "wasted", "t_last_end",
+    )
+
+    def __init__(
+        self,
+        trace: _SharedTrace,
+        config: BatchConfig,
+        estimator: Estimator,
+        collect_attempts: bool,
+        group_seed: Optional[Tuple[np.ndarray, np.ndarray, List[float]]] = None,
+    ) -> None:
+        self.trace = trace
+        self.cluster = config.cluster
+        self.est = estimator
+        self.spurious = config.spurious_failure_prob
+        rng = as_generator(config.seed)
+        self.uniform = rng.uniform
+        self.random = rng.random
+        self.collect = collect_attempts
+
+        ladder = config.cluster.ladder
+        self.levels: Tuple[float, ...] = ladder.levels
+        self.nlev = len(self.levels)
+        self.totals = [config.cluster.total_at_level(l) for l in self.levels]
+        self.free = list(self.totals)
+        # Suffix sums of the inventory: fits(procs, req) is one memoized
+        # bisect plus one comparison.
+        suffix = [0] * (self.nlev + 1)
+        for j in range(self.nlev - 1, -1, -1):
+            suffix[j] = suffix[j + 1] + self.totals[j]
+        self.total_suffix = suffix
+        self.idx_memo: Dict[float, int] = {}
+
+        # Hot-path column access goes through plain Python lists bound
+        # directly on the lane (shared across lanes; never mutated).
+        self.c_procs = trace.procs
+        self.c_req_mem = trace.req_mem
+        self.c_run_time = trace.run_time
+        self.c_used_mem = trace.used_mem
+        self.c_job_id = trace.job_id
+
+        self.queue: deque = deque()
+        self.heap: List[tuple] = []
+        self.seq = 0
+
+        self.mode_none = type(estimator) is NoEstimation
+        self.refresh = not self.mode_none
+        if self.mode_none:
+            self.gid = None
+        else:
+            gid, _ = trace.group_info()
+            self.gid = gid
+            est_row, alpha_row, greq = group_seed
+            self.gest: List[float] = est_row.tolist()
+            self.galpha: List[float] = alpha_row.tolist()
+            self.greq: List[float] = greq
+            n_groups = len(self.greq)
+            self.glast_safe: List[Optional[float]] = [None] * n_groups
+            self.gprobe: List[Optional[Tuple[int, int]]] = [None] * n_groups
+            self.gsafe_fail = [0] * n_groups
+            self.gver = [0] * n_groups
+            self.failed_at: Dict[int, float] = {}
+            self.alpha0 = estimator.alpha
+            self.beta = estimator.beta
+            self.serial_probing = estimator.serial_probing
+            self.explicit_guard = estimator.explicit_guard
+            self.max_reduced = estimator.max_reduced_attempts
+            self.mixed_threshold = estimator.mixed_group_threshold
+
+        n = trace.n
+        self.n_att = [0] * n
+        self.n_resfail = [0] * n
+        self.wasted_job = [0.0] * n
+        self.final_start: List[Optional[float]] = [None] * n
+        self.final_end: List[Optional[float]] = [None] * n
+        self.final_req = [0.0] * n
+        self.final_granted = [0.0] * n
+        self.final_reduced = [False] * n
+        self.completed = [False] * n
+        self.dead = [False] * n
+        self.rejected_rows: List[int] = []
+        self.raw_attempts: List[tuple] = []
+
+        self.n_attempts = 0
+        self.n_resource_failures = 0
+        self.n_spurious = 0
+        self.n_reduced = 0
+        self.useful = 0.0
+        self.wasted = 0.0
+        self.t_last_end = 0.0
+
+    # ----------------------------------------------------------- allocation
+    def _idx(self, value: float) -> int:
+        """Memoized ``bisect_left(levels, value)`` — the ladder query."""
+        memo = self.idx_memo
+        i = memo.get(value)
+        if i is None:
+            memo[value] = i = _bisect_left(self.levels, value)
+        return i
+
+    def _fits(self, procs: int, requirement: float) -> bool:
+        return self.total_suffix[self._idx(requirement)] >= procs
+
+    # ------------------------------------------------------------ estimator
+    def _estimate(self, i: int, attempt: int) -> float:
+        req = self.c_req_mem[i]
+        if attempt >= self.max_reduced:
+            return req
+        g = self.gid[i]
+        est = self.gest[g]
+        memo = self.idx_memo
+        levels = self.levels
+        nlev = self.nlev
+        idx = memo.get(est)
+        if idx is None:
+            memo[est] = idx = _bisect_left(levels, est)
+        if idx == nlev:  # round_up(estimate) is None
+            return req
+        rounded = levels[idx]
+        e_prime = rounded if rounded < req else req
+        last_safe = self.glast_safe[g]
+        safe_value = self.greq[g] if last_safe is None else last_safe
+        if self.serial_probing and est < safe_value:
+            sidx = memo.get(safe_value)
+            if sidx is None:
+                memo[safe_value] = sidx = _bisect_left(levels, safe_value)
+            if sidx == nlev or levels[sidx] > req:
+                safe_req = req
+            else:
+                safe_req = levels[sidx]
+            if e_prime < safe_req:
+                ticket = (self.c_job_id[i], attempt)
+                probe = self.gprobe[g]
+                if probe is None or probe == ticket:
+                    self.gprobe[g] = ticket
+                else:
+                    e_prime = safe_req
+        floor = self.failed_at.get(self.c_job_id[i])
+        if floor is not None and e_prime <= floor:
+            bump = floor * _ONE_PLUS_EPS
+            bidx = memo.get(bump)
+            if bidx is None:
+                memo[bump] = bidx = _bisect_left(levels, bump)
+            bumped = levels[bidx] if bidx < nlev else req
+            raised = bumped if bumped >= floor else floor  # max(bumped, floor)
+            e_prime = raised if raised < req else req  # clamp_to_request
+            if e_prime <= floor:
+                e_prime = req
+        return e_prime
+
+    def _observe(
+        self, i: int, attempt: int, succeeded: bool,
+        requirement: float, granted: float,
+    ) -> None:
+        g = self.gid[i]
+        job_id = self.c_job_id[i]
+        gver = self.gver
+        gver[g] += 1
+        gprobe = self.gprobe
+        if gprobe[g] == (job_id, attempt):
+            gprobe[g] = None
+        guard = self.explicit_guard and granted >= self.c_used_mem[i]
+        failed_at = self.failed_at
+        if succeeded:
+            failed_at.pop(job_id, None)
+        elif not guard:
+            prev = failed_at.get(job_id, 0.0)
+            failed_at[job_id] = prev if prev >= requirement else requirement
+        if attempt >= self.max_reduced:
+            return  # per-job guard outcome; group state stays as learned
+        glast_safe = self.glast_safe
+        greq = self.greq
+        galpha = self.galpha
+        if succeeded:
+            last_safe = glast_safe[g]
+            safe_value = greq[g] if last_safe is None else last_safe
+            if requirement <= safe_value:
+                glast_safe[g] = requirement
+                self.gsafe_fail[g] = 0
+            self.gest[g] = requirement / galpha[g]
+            return
+        if guard:
+            return
+        last_safe = glast_safe[g]
+        safe_value = greq[g] if last_safe is None else last_safe
+        if self.mixed_threshold and requirement >= safe_value:
+            gsafe_fail = self.gsafe_fail
+            gsafe_fail[g] += 1
+            if gsafe_fail[g] >= self.mixed_threshold:
+                bump = safe_value * _ONE_PLUS_EPS
+                memo = self.idx_memo
+                bidx = memo.get(bump)
+                if bidx is None:
+                    memo[bump] = bidx = _bisect_left(self.levels, bump)
+                request = greq[g]
+                above = self.levels[bidx] if bidx < self.nlev else request
+                glast_safe[g] = above if above < request else request
+                gsafe_fail[g] = 0
+        alpha = galpha[g] * self.beta
+        galpha[g] = alpha if alpha >= 1.0 else 1.0
+        last_safe = glast_safe[g]
+        safe_value = greq[g] if last_safe is None else last_safe
+        self.gest[g] = safe_value / galpha[g]
+
+    # --------------------------------------------------------------- events
+    def feed_arrival(self, now: float, i: int) -> None:
+        # The scalar _on_arrival + _enqueue(attempt=0, at_head=False),
+        # inlined: one call per (lane, arrival) is the whole hot-path cost
+        # of arrival ingestion.
+        if self.mode_none:
+            requirement = self.c_req_mem[i]
+            version = -1
+        else:
+            requirement = self._estimate(i, 0)
+            version = self.gver[self.gid[i]]
+        if self.total_suffix[self._idx(requirement)] < self.c_procs[i]:
+            self.rejected_rows.append(i)
+            self.dead[i] = True
+            return
+        queue = self.queue
+        if queue:
+            queue.append([i, 0, requirement, now, version])
+            return  # Fcfs.tail_wakes is False: the blocked head still blocks
+        queue.append([i, 0, requirement, now, version])
+        self._sched(now)
+
+    def _requeue_failed(self, now: float, i: int, attempt: int) -> None:
+        """Scalar _enqueue(attempt>0, at_head=True): a failed resubmission."""
+        if self.mode_none:
+            requirement = self.c_req_mem[i]
+            version = -1
+        else:
+            requirement = self._estimate(i, attempt)
+            version = self.gver[self.gid[i]]
+            if self.total_suffix[self._idx(requirement)] < self.c_procs[i]:
+                requirement = self.c_req_mem[i]
+        if self.total_suffix[self._idx(requirement)] < self.c_procs[i]:
+            self.rejected_rows.append(i)
+            self.dead[i] = True
+            return
+        self.queue.appendleft([i, attempt, requirement, now, version])
+
+    def _sched(self, now: float) -> None:
+        queue = self.queue
+        refresh = self.refresh
+        free = self.free
+        nlev = self.nlev
+        levels = self.levels
+        memo = self.idx_memo
+        c_procs = self.c_procs
+        c_req_mem = self.c_req_mem
+        c_run_time = self.c_run_time
+        c_used_mem = self.c_used_mem
+        heap = self.heap
+        spurious = self.spurious
+        while queue:
+            head = queue[0]
+            i = head[0]
+            if refresh:
+                version = self.gver[self.gid[i]]
+                if version != head[4]:
+                    head[4] = version
+                    refreshed = self._estimate(i, head[1])
+                    if refreshed != head[2] and self._fits(
+                        c_procs[i], refreshed
+                    ):
+                        head[2] = refreshed
+            procs = c_procs[i]
+            requirement = head[2]
+            idx = memo.get(requirement)
+            if idx is None:
+                memo[requirement] = idx = _bisect_left(levels, requirement)
+            available = 0
+            for j in range(idx, nlev):
+                available += free[j]
+            if available < procs:  # Fcfs.select returned None
+                return
+            queue.popleft()
+            # Allocation: fill ascending from the smallest adequate level.
+            # counts holds (level_index, take) pairs; indices resolve to
+            # levels only when a record is materialized.
+            counts = []
+            remaining = procs
+            granted = 0.0
+            for j in range(idx, nlev):
+                take = free[j]
+                if take > 0:
+                    if not counts:
+                        granted = levels[j]  # min_capacity
+                    if take > remaining:
+                        take = remaining
+                    counts.append((j, take))
+                    free[j] -= take
+                    remaining -= take
+                    if remaining == 0:
+                        break
+            # Outcome, drawn up front like the scalar FailureModel.
+            run_time = c_run_time[i]
+            if granted < c_used_mem[i]:
+                succeeded = False
+                duration = float(self.uniform(0.0, run_time))
+                resource_related = True
+            elif spurious > 0.0 and self.random() < spurious:
+                succeeded = False
+                duration = float(self.uniform(0.0, run_time))
+                resource_related = False
+            else:
+                succeeded = True
+                duration = run_time
+                resource_related = False
+            end_time = now + duration
+            if not _isfinite(end_time):
+                raise ValueError(f"event time must be finite, got {end_time!r}")
+            self.n_att[i] += 1
+            self.n_attempts += 1
+            if requirement < c_req_mem[i]:
+                self.n_reduced += 1
+            _heappush(
+                heap,
+                (end_time, 0, self.seq, i, head[1], requirement, head[3],
+                 now, granted, counts, succeeded, resource_related),
+            )
+            self.seq += 1
+
+    def step(self) -> None:
+        (now, _kind, _seq, i, attempt, requirement, enqueue_time, start,
+         granted, counts, succeeded, resource_related) = _heappop(self.heap)
+        free = self.free
+        for j, take in counts:
+            free[j] += take
+        procs = self.c_procs[i]
+        reduced = requirement < self.c_req_mem[i]
+        node_seconds = (now - start) * procs
+        if self.collect:
+            levels = self.levels
+            self.raw_attempts.append(
+                (self.c_job_id[i], attempt, enqueue_time, start, now, procs,
+                 requirement, granted, succeeded, resource_related, reduced,
+                 tuple((levels[j], take) for j, take in counts))
+            )
+        if now > self.t_last_end:
+            self.t_last_end = now
+        if not self.mode_none:
+            self._observe(i, attempt, succeeded, requirement, granted)
+        if succeeded:
+            self.completed[i] = True
+            self.final_start[i] = start
+            self.final_end[i] = now
+            self.final_req[i] = requirement
+            self.final_granted[i] = granted
+            self.final_reduced[i] = reduced
+            self.useful += node_seconds
+        else:
+            if resource_related:
+                self.n_resfail[i] += 1
+                self.n_resource_failures += 1
+            else:
+                self.n_spurious += 1
+            self.wasted_job[i] += node_seconds
+            self.wasted += node_seconds
+            self._requeue_failed(now, i, attempt + 1)
+        # Capacity was freed (and a failed job may have re-entered at the
+        # head): the scalar engine's post-event pass always runs here.
+        if self.queue:
+            self._sched(now)
+
+    def drain(self) -> None:
+        heap = self.heap
+        step = self.step
+        while heap:
+            step()
+
+    # --------------------------------------------------------------- result
+    def finish(self) -> SimResult:
+        if self.queue:
+            raise RuntimeError(
+                f"{len(self.queue)} jobs stranded in the queue at end of trace"
+            )
+        trace = self.trace
+        jobs = trace.jobs()  # materialized off the hot path, once per batch
+        summaries: List[JobSummary] = []
+        for i in range(trace.n):
+            if self.dead[i]:
+                continue
+            if self.final_end[i] is None:
+                raise RuntimeError(
+                    f"job {trace.job_id[i]} finished the trace incomplete"
+                )
+            summaries.append(
+                JobSummary(
+                    job=jobs[i],
+                    first_submit=trace.submit[i],
+                    start_time=self.final_start[i],
+                    end_time=self.final_end[i],
+                    n_attempts=self.n_att[i],
+                    n_resource_failures=self.n_resfail[i],
+                    completed=self.completed[i],
+                    final_requirement=self.final_req[i],
+                    final_granted=self.final_granted[i],
+                    reduced=self.final_reduced[i],
+                    wasted_node_seconds=self.wasted_job[i],
+                )
+            )
+        # Rows are sorted by (submit_time, job_id) — the workload's invariant
+        # — so the summary order already matches the scalar engine's sort.
+        attempts = [AttemptRecord._make(raw) for raw in self.raw_attempts]
+        return SimResult(
+            workload_name=trace.workload.name,
+            cluster_name=self.cluster.name,
+            estimator_name=self.est.name,
+            policy_name="fcfs",
+            total_nodes=self.cluster.total_nodes,
+            attempts=attempts,
+            summaries=summaries,
+            rejected_jobs=[jobs[i] for i in self.rejected_rows],
+            t_first_submit=summaries[0].first_submit if summaries else 0.0,
+            t_last_end=self.t_last_end,
+            n_attempts=self.n_attempts,
+            n_resource_failures=self.n_resource_failures,
+            n_spurious_failures=self.n_spurious,
+            n_fault_kills=0,
+            n_node_failures=0,
+            node_downtime_seconds=0,  # int, like sum([]) in _build_result
+            n_reduced_submissions=self.n_reduced,
+            useful_node_seconds=self.useful,
+            wasted_node_seconds=self.wasted,
+            timeline=[],
+        )
+
+
+class _EngineLane:
+    """Generic lane: a scalar Simulation driven through its streaming API."""
+
+    __slots__ = ("sim", "jobs", "heap", "_stream_arrival", "_step")
+
+    def __init__(
+        self,
+        trace: _SharedTrace,
+        config: BatchConfig,
+        estimator: Optional[Estimator],
+        policy: Optional[Policy],
+        collect_attempts: bool,
+    ) -> None:
+        injector = None
+        if config.fault_config is not None and config.fault_config.enabled:
+            injector = NodeFaultInjector(
+                config.fault_config, rng=fault_rng(config.seed)
+            )
+        sim = Simulation(
+            workload=trace.workload,
+            cluster=config.cluster,
+            estimator=estimator,
+            policy=policy,
+            failure_model=FailureModel(
+                rng=config.seed,
+                spurious_failure_prob=config.spurious_failure_prob,
+            ),
+            fault_injector=injector,
+            seed=config.seed,
+            collect_attempts=collect_attempts,
+            record_timeline=config.record_timeline,
+            observer=config.observer,
+        )
+        self.sim = sim
+        self.jobs = trace.jobs()
+        first_submit = trace.submit[0] if trace.n else _inf
+        sim.begin_stream(trace.n, first_submit)
+        self.heap = sim._events.raw_heap
+        self._stream_arrival = sim.stream_arrival
+        self._step = sim.step_internal
+
+    def feed_arrival(self, now: float, i: int) -> None:
+        self._stream_arrival(now, self.jobs[i])
+
+    def step(self) -> None:
+        self._step()
+
+    def drain(self) -> None:
+        heap = self.heap
+        step = self._step
+        while heap:
+            step()
+
+    def finish(self) -> SimResult:
+        return self.sim.end_stream()
+
+
+def fast_lane_eligible(config: BatchConfig) -> bool:
+    """Whether a config runs on the array fast lane (vs the engine lane).
+
+    The fast lane covers the paper's hot configuration: FCFS, best-fit
+    cluster, no-estimation or default-keyed successive approximation without
+    trajectory recording, optional spurious failures — no fault injection,
+    observer, or timeline.  Exact-type checks, so subclasses with overridden
+    behavior fall back to the (always-correct) engine lane.
+    """
+    if config.record_timeline or config.observer is not None:
+        return False
+    if config.fault_config is not None and config.fault_config.enabled:
+        return False
+    if config.policy is not None and type(config.policy) is not Fcfs:
+        return False
+    if config.cluster.strategy != "best_fit":
+        return False
+    estimator = config.estimator
+    if estimator is None or type(estimator) is NoEstimation:
+        return True
+    return (
+        type(estimator) is SuccessiveApproximation
+        and not estimator.record_trajectories
+        and estimator.key_fn is by_user_app_reqmem
+    )
+
+
+def _clone_cluster(cluster: Cluster) -> Cluster:
+    """A fresh Cluster with the same tiers/strategy (declared order kept,
+    so first_fit allocation order survives the clone)."""
+    return Cluster(
+        tiers=[
+            (cluster.total_at_level(lvl), lvl)
+            for lvl in cluster._declared_order
+        ],
+        strategy=cluster.strategy,
+        name=cluster.name,
+    )
+
+
+def simulate_batch(
+    workload: Workload,
+    configs: Sequence[BatchConfig],
+    collect_attempts: bool = True,
+) -> List[SimResult]:
+    """Run K configurations over one shared workload in lock-step.
+
+    Results are returned in config order; each is bit-identical to
+    :func:`repro.sim.engine.simulate` run with the same parameters.  Engine
+    lanes mutate their cluster (reset + allocate); when several such lanes
+    share one ``Cluster`` instance (e.g. via the memoized
+    ``ClusterSpec.materialize``), clones are substituted so the lanes cannot
+    corrupt each other.  Fast lanes only read the cluster's inventory.
+    """
+    if not configs:
+        return []
+    trace = _SharedTrace(workload)
+
+    fast_successive: List[int] = []
+    kinds: List[bool] = []
+    for config in configs:
+        fast = fast_lane_eligible(config)
+        kinds.append(fast)
+        if fast and config.estimator is not None and (
+            type(config.estimator) is SuccessiveApproximation
+        ):
+            fast_successive.append(len(kinds) - 1)
+
+    # Vectorized (K, n_groups) seed for every successive fast lane at once.
+    group_seeds: Dict[int, Tuple[np.ndarray, np.ndarray, List[float]]] = {}
+    if fast_successive:
+        est_mat, alpha_mat, group_req = seed_group_arrays(
+            trace, [configs[k].estimator.alpha for k in fast_successive]
+        )
+        greq_list = group_req.tolist()
+        for row, k in enumerate(fast_successive):
+            group_seeds[k] = (est_mat[row], alpha_mat[row], greq_list)
+
+    lanes = []
+    live_clusters: set = set()
+    for k, config in enumerate(configs):
+        estimator = config.estimator
+        if kinds[k]:
+            lanes.append(
+                _FastLane(
+                    trace,
+                    config,
+                    estimator if estimator is not None else NoEstimation(),
+                    collect_attempts,
+                    group_seeds.get(k),
+                )
+            )
+        else:
+            if id(config.cluster) in live_clusters:
+                config = BatchConfig(
+                    cluster=_clone_cluster(config.cluster),
+                    estimator=config.estimator,
+                    policy=config.policy,
+                    seed=config.seed,
+                    spurious_failure_prob=config.spurious_failure_prob,
+                    fault_config=config.fault_config,
+                    record_timeline=config.record_timeline,
+                    observer=config.observer,
+                )
+            live_clusters.add(id(config.cluster))
+            lanes.append(
+                _EngineLane(
+                    trace, config, config.estimator, config.policy,
+                    collect_attempts,
+                )
+            )
+
+    # Merged frontier: shared arrival cursor + per-lane internal-event
+    # heaps.  Lanes share no state, so only the *per-lane* interleaving of
+    # arrivals and internal events must match the scalar heap's order:
+    # before an arrival reaches a lane, the lane drains every internal
+    # event whose (time, kind) sorts before (t_arrival, ARRIVAL) — the
+    # scalar tie-break (same-instant completions/repairs fire first,
+    # node failures after the arrival).  O(1) amortized per event, so the
+    # driver stays linear in K.
+    submit = trace.submit
+    n = trace.n
+    hot = [(lane.heap, lane.step, lane.feed_arrival) for lane in lanes]
+    for i in range(n):
+        t_arrival = submit[i]
+        for heap, step, feed in hot:
+            while heap:
+                entry = heap[0]
+                t = entry[0]
+                if t < t_arrival or (t == t_arrival and entry[1] < _ARRIVAL_KIND):
+                    step()
+                else:
+                    break
+            feed(t_arrival, i)
+    # Past the last arrival the lanes share nothing: drain independently.
+    for lane in lanes:
+        lane.drain()
+    return [lane.finish() for lane in lanes]

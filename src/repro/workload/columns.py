@@ -91,7 +91,21 @@ class JobColumns:
 
         Raises :class:`ValueError` naming the first offending row, so a bad
         trace fails the same way whether it was built row-by-row or in bulk.
+
+        Non-finite floats are rejected explicitly: a NaN passes every
+        ``<= 0`` comparison below (NaN compares False), but the SWF parser
+        drops non-finite rows (``swf.py``), so a NaN-bearing column here is
+        always a construction bug, never trace data.
         """
+        for name in ("submit_time", "run_time", "req_mem", "used_mem", "req_time"):
+            arr = getattr(self, name)
+            finite = np.isfinite(arr)
+            if not finite.all():
+                i = int(np.argmax(~finite))
+                raise ValueError(
+                    f"{name} must be finite, got {arr[i]!r} (row {i}, "
+                    f"job_id {int(self.job_id[i])})"
+                )
         checks = (
             ("submit_time", self.submit_time < 0, ">= 0"),
             ("run_time", self.run_time <= 0, "> 0"),

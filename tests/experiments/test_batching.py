@@ -1,0 +1,161 @@
+"""Lock-step batching inside the sweep executor.
+
+Covers the ``run_sweep(batch_size=...)`` plumbing around
+:func:`repro.sim.batch.simulate_batch`: same-trace grouping, point-for-point
+parity with unbatched execution, the width-resolution chain
+(``set_default_batch_size`` > ``$REPRO_BATCH_SIZE`` > built-in 4), profile
+surfacing, and the per-spec fallback when a batch member fails.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    SweepError,
+    _same_workload_batches,
+    default_batch_size,
+    execute_batch,
+    run_sweep,
+    set_default_batch_size,
+)
+from repro.experiments.specs import (
+    ClusterSpec,
+    EstimatorSpec,
+    RunSpec,
+    WorkloadSpec,
+)
+
+CFG = ExperimentConfig(n_jobs=600, loads=(0.6, 0.9))
+
+
+def grid_specs(estimators=("none", "successive"), loads=None):
+    """A small grid sharing one base trace per load — the batchable shape."""
+    loads = CFG.loads if loads is None else loads
+    return [
+        RunSpec(
+            workload=WorkloadSpec(n_jobs=CFG.n_jobs, seed=CFG.seed, load=load),
+            cluster=ClusterSpec(second_tier_mem=CFG.second_tier_mem),
+            estimator=EstimatorSpec(name=name),
+            seed=CFG.seed,
+            label=f"{name}@{load:g}",
+        )
+        for name in estimators
+        for load in loads
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _reset_batch_override():
+    yield
+    set_default_batch_size(None)
+
+
+class TestBatchGrouping:
+    def test_groups_by_full_workload_spec(self):
+        specs = grid_specs()
+        batches = _same_workload_batches(specs, batch_size=4)
+        # 4 specs over 2 loads: one batch of two per load, spec order kept.
+        assert sorted(len(b) for b in batches) == [2, 2]
+        for batch in batches:
+            workloads = {specs[i].workload for i in batch}
+            assert len(workloads) == 1
+            assert batch == sorted(batch)
+        assert sorted(i for b in batches for i in b) == [0, 1, 2, 3]
+
+    def test_chunks_to_batch_size(self):
+        specs = grid_specs(estimators=("none", "successive", "oracle"),
+                           loads=(0.8,))
+        batches = _same_workload_batches(specs, batch_size=2)
+        assert sorted(len(b) for b in batches) == [1, 2]
+
+    def test_batch_size_one_disables_grouping(self):
+        specs = grid_specs()
+        batches = _same_workload_batches(specs, batch_size=1)
+        assert batches == [[i] for i in range(len(specs))]
+
+
+class TestWidthResolution:
+    def test_builtin_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
+        assert default_batch_size() == 4
+
+    def test_env_variable_wins_over_builtin(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "2")
+        assert default_batch_size() == 2
+
+    def test_invalid_env_falls_back_with_warning(self, monkeypatch, caplog):
+        for bad in ("zero", "0"):
+            monkeypatch.setenv("REPRO_BATCH_SIZE", bad)
+            with caplog.at_level("WARNING", logger="repro.sweep"):
+                caplog.clear()
+                assert default_batch_size() == 4
+            assert any("REPRO_BATCH_SIZE" in r.message for r in caplog.records)
+
+    def test_override_wins_over_env_and_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "2")
+        previous = set_default_batch_size(8)
+        assert previous is None
+        assert default_batch_size() == 8
+        assert set_default_batch_size(None) == 8
+        assert default_batch_size() == 2
+
+    def test_override_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            set_default_batch_size(0)
+
+
+class TestBatchedSweepParity:
+    def test_batched_serial_sweep_matches_unbatched(self):
+        specs = grid_specs()
+        unbatched = run_sweep(specs, max_workers=1, batch_size=1)
+        batched = run_sweep(specs, max_workers=1, batch_size=4)
+        assert batched.points() == unbatched.points()
+        # The batched report knows it batched; the unbatched one does not.
+        assert all(o.batch_width == 1 for o in unbatched.outcomes)
+        assert all(o.batch_width == 2 for o in batched.outcomes)
+        profile = batched.profile()
+        assert profile.n_batched == len(specs)
+        assert profile.mean_batch_width == pytest.approx(2.0)
+        assert "lock-step batches" in profile.format_report()
+
+    def test_batched_pool_sweep_matches_unbatched(self):
+        specs = grid_specs()
+        unbatched = run_sweep(specs, max_workers=1, batch_size=1)
+        pooled = run_sweep(
+            specs, max_workers=2, oversubscribe=True, batch_size=4
+        )
+        assert pooled.points() == unbatched.points()
+        assert pooled.profile().n_batched == len(specs)
+
+    def test_failed_member_falls_back_to_per_spec_execution(self):
+        # Three specs share one trace; the middle one names an estimator
+        # that cannot materialize.  The batch attempt fails as a whole, the
+        # executor retries each member solo, and only the doomed spec
+        # reports an error.
+        specs = grid_specs(loads=(0.8,))
+        bad = RunSpec(
+            workload=specs[0].workload,
+            cluster=specs[0].cluster,
+            estimator=EstimatorSpec(name="no-such-estimator"),
+            seed=CFG.seed,
+            label="doomed",
+        )
+        report = run_sweep(
+            specs[:1] + [bad] + specs[1:], max_workers=1, batch_size=4
+        )
+        assert report.n_errors == 1
+        assert [o.ok for o in report.outcomes] == [True, False, True]
+        assert "no-such-estimator" in report.outcomes[1].error
+        with pytest.raises(SweepError, match="doomed"):
+            report.points()
+        # The surviving members still match a clean unbatched run.
+        clean = run_sweep(specs, max_workers=1, batch_size=1)
+        good = [o.point for o in report.outcomes if o.ok]
+        assert good == clean.points()
+
+    def test_execute_batch_singleton_uses_scalar_path(self):
+        specs = grid_specs(estimators=("none",), loads=(0.8,))
+        outcomes = execute_batch(specs)
+        assert len(outcomes) == 1
+        assert outcomes[0].ok
+        assert outcomes[0].batch_width == 1

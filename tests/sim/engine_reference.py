@@ -81,17 +81,21 @@ _ESTIMATORS = {
 _FAULT_CONFIG = FaultConfig(node_mtbf=2.0e6, node_mttr=3600.0)
 
 
-def run_slice(spec: SliceSpec, observer=None) -> SimResult:
-    """Run one reference slice to completion (deterministic in ``spec``)."""
-    workload = scale_load(
+def slice_workload(spec: SliceSpec):
+    """The slice's workload (shared by the scalar and batched paths)."""
+    return scale_load(
         drop_full_machine_jobs(lanl_cm5_like(n_jobs=spec.n_jobs, seed=spec.seed)),
         spec.load,
     )
+
+
+def run_slice(spec: SliceSpec, observer=None) -> SimResult:
+    """Run one reference slice to completion (deterministic in ``spec``)."""
     injector: Optional[NodeFaultInjector] = None
     if spec.faults:
         injector = NodeFaultInjector(_FAULT_CONFIG, rng=fault_rng(spec.seed))
     return Simulation(
-        workload=workload,
+        workload=slice_workload(spec),
         cluster=paper_cluster(24.0),
         estimator=_ESTIMATORS[spec.estimator](),
         policy=_POLICIES[spec.policy](),
@@ -103,3 +107,20 @@ def run_slice(spec: SliceSpec, observer=None) -> SimResult:
         record_timeline=spec.timeline,
         observer=observer,
     ).run()
+
+
+def slice_batch_config(spec: SliceSpec, observer=None):
+    """The :class:`repro.sim.batch.BatchConfig` lane equivalent to
+    :func:`run_slice`'s scalar configuration."""
+    from repro.sim.batch import BatchConfig
+
+    return BatchConfig(
+        cluster=paper_cluster(24.0),
+        estimator=_ESTIMATORS[spec.estimator](),
+        policy=_POLICIES[spec.policy](),
+        seed=spec.seed,
+        spurious_failure_prob=spec.spurious,
+        fault_config=_FAULT_CONFIG if spec.faults else None,
+        record_timeline=spec.timeline,
+        observer=observer,
+    )

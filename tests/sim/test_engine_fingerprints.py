@@ -19,13 +19,20 @@ the change out in the PR description.
 """
 
 import json
+from collections import defaultdict
 from pathlib import Path
 
 import pytest
 
 from repro.obs import CounterObserver
+from repro.sim.batch import fast_lane_eligible, simulate_batch
 
-from tests.sim.engine_reference import REFERENCE_SLICES, run_slice
+from tests.sim.engine_reference import (
+    REFERENCE_SLICES,
+    run_slice,
+    slice_batch_config,
+    slice_workload,
+)
 
 _DATA_PATH = Path(__file__).resolve().parents[1] / "data" / "engine_fingerprints.json"
 RECORDED = json.loads(_DATA_PATH.read_text(encoding="utf-8"))["fingerprints"]
@@ -43,6 +50,46 @@ def test_fingerprint_matches_recorded(name):
         f"engine change altered simulation behavior (regenerate the recording "
         f"only if the change is intended)"
     )
+
+
+@pytest.mark.parametrize("name", sorted(REFERENCE_SLICES))
+def test_batched_single_lane_matches_recorded(name):
+    """Every slice through simulate_batch (K=1) reproduces the recorded
+    digest — whichever lane (array fast lane or streamed engine lane) the
+    configuration routes to."""
+    spec = REFERENCE_SLICES[name]
+    config = slice_batch_config(spec)
+    result = simulate_batch(slice_workload(spec), [config])[0]
+    lane = "fast" if fast_lane_eligible(config) else "engine"
+    assert result.fingerprint() == RECORDED[name], (
+        f"slice {name!r} diverged through the batched {lane} lane — the "
+        f"batched engine is only admissible while bit-identical to scalar"
+    )
+
+
+def _slices_by_load():
+    groups = defaultdict(list)
+    for name, spec in REFERENCE_SLICES.items():
+        groups[spec.load].append(name)
+    return sorted(groups.items())
+
+
+@pytest.mark.parametrize("load,names", _slices_by_load())
+def test_batched_merged_lanes_match_recorded(load, names):
+    """All same-workload slices as ONE merged batch: mixed estimators,
+    policies, fault injection, and timelines advancing lock-step must each
+    still land on their recorded scalar digest."""
+    names = sorted(names)
+    specs = [REFERENCE_SLICES[name] for name in names]
+    workload = slice_workload(specs[0])
+    results = simulate_batch(
+        workload, [slice_batch_config(spec) for spec in specs]
+    )
+    for name, result in zip(names, results):
+        assert result.fingerprint() == RECORDED[name], (
+            f"slice {name!r} diverged inside a merged K={len(names)} batch "
+            f"(load {load})"
+        )
 
 
 @pytest.mark.parametrize(

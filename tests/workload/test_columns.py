@@ -69,6 +69,68 @@ class TestJobColumnsRoundTrip:
         assert by_submit.head(2).job_id.tolist() == [1, 2]
 
 
+class TestNonFiniteRejection:
+    """``validate()`` must reject NaN/inf the same way ``swf.py`` does —
+    non-finite values are never legitimate trace data, and NaN would slip
+    through every ``<=``/``>=`` validity guard (all comparisons False)."""
+
+    CHECKED = ("submit_time", "run_time", "req_mem", "used_mem", "req_time")
+
+    @pytest.mark.parametrize("column", CHECKED)
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+    def test_validate_rejects_non_finite_naming_the_row(self, column, value):
+        cols = JobColumns.from_jobs(jobs_fixture())
+        arr = getattr(cols, column).copy()
+        arr[1] = value
+        fields = {name: getattr(cols, name) for name, _ in COLUMN_FIELDS}
+        fields[column] = arr
+        bad = JobColumns(**fields)
+        with pytest.raises(ValueError, match=rf"{column}.*finite.*row 1"):
+            bad.validate()
+
+    def test_swf_parser_drops_the_same_rows(self):
+        # Row 2 carries a NaN runtime: both SWF lanes (vectorized and
+        # per-line) drop it as malformed rather than letting it reach a
+        # Job / JobColumns, which is why validate() can treat non-finite
+        # as a construction bug.
+        text = SWF_TEXT.replace(
+            "2 5 -1 50 2", "2 5 -1 nan 2"
+        )
+        fast, fast_report = read_swf_text(text)
+        assert 2 not in [job.job_id for job in fast]
+        assert fast_report.skipped_malformed >= 1
+
+
+class TestSelectHeadSemantics:
+    """``select``/``head`` contract: fresh ``JobColumns`` whose arrays
+    follow numpy indexing rules — fancy/boolean indexing copies, basic
+    slicing views — so callers know when mutation can leak."""
+
+    def test_select_returns_independent_copies(self):
+        cols = JobColumns.from_jobs(jobs_fixture())
+        picked = cols.select(np.array([0, 2]))
+        masked = cols.select(cols.procs < 8)
+        for sub in (picked, masked):
+            assert not np.shares_memory(sub.submit_time, cols.submit_time)
+        picked.submit_time[0] = 999.0
+        assert cols.submit_time[0] != 999.0  # the parent never sees it
+
+    def test_head_returns_views_over_the_parent(self):
+        cols = JobColumns.from_jobs(jobs_fixture())
+        top = cols.head(2)
+        assert len(top) == 2
+        assert np.shares_memory(top.submit_time, cols.submit_time)
+
+    def test_head_of_buffer_backed_columns_stays_read_only(self):
+        cols = JobColumns.from_jobs(jobs_fixture())
+        buf = memoryview(bytearray(cols.nbytes))
+        cols.pack_into(buf)
+        shared = JobColumns.from_buffer(buf, len(cols))
+        top = shared.head(2)
+        with pytest.raises((ValueError, RuntimeError)):
+            top.submit_time[0] = 99.0  # views inherit immutability
+
+
 class TestLazyWorkloadEquivalence:
     def test_from_columns_matches_the_object_path(self):
         jobs = jobs_fixture()
