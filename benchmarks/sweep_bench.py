@@ -121,7 +121,7 @@ def main(argv=None) -> int:
         "--batch-size", type=int, default=None,
         help=(
             "same-trace lock-step batch width for the executor "
-            "(default: $REPRO_BATCH_SIZE, else 4; 1 disables batching)"
+            "(default: $REPRO_BATCH_SIZE, else adaptive up to 16; 1 disables batching)"
         ),
     )
     parser.add_argument(

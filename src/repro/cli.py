@@ -573,7 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "same-trace specs advanced lock-step per execution unit "
-            "(default: $REPRO_BATCH_SIZE, else 4; 1 disables batching)"
+            "(default: $REPRO_BATCH_SIZE, else adaptive up to 16; 1 disables batching)"
         ),
     )
     p.set_defaults(fn=cmd_experiment)

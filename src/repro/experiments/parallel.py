@@ -101,11 +101,13 @@ _POOL_UNAVAILABLE = (OSError, ImportError, PermissionError)
 #: Backoff delays are capped so a high retry count cannot stall a sweep.
 _BACKOFF_CAP = 30.0
 
-#: Built-in ceiling on how many specs ride in one same-trace batch.  Large
-#: enough to amortize the future round-trip, the worker's base
-#: materialization, and the lock-step engine's shared arrival decode; small
-#: enough that the sliding window still load-balances a short sweep.
-_MAX_BATCH = 4
+#: Built-in ceiling on how many specs ride in one same-trace batch.  The
+#: actual width adapts per group (see :func:`_same_workload_batches`): a
+#: group of same-trace specs runs at its full stack depth up to this cap,
+#: split further only when a pooled sweep needs more units in flight to
+#: keep its workers busy.  The cap bounds per-lane memory and keeps one
+#: batch's wall clock within the sliding window's load-balancing grain.
+_MAX_BATCH = 16
 
 #: Process-wide override installed by :func:`set_default_batch_size`
 #: (``None`` means "use the environment / built-in default").
@@ -117,7 +119,7 @@ def default_batch_size() -> int:
 
     Resolution order: :func:`set_default_batch_size` override, then the
     ``REPRO_BATCH_SIZE`` environment variable, then the built-in ceiling
-    (``4``).  Invalid environment values are ignored with a warning rather
+    (``16``).  Invalid environment values are ignored with a warning rather
     than failing the sweep.
     """
     if _BATCH_SIZE_OVERRIDE is not None:
@@ -219,9 +221,14 @@ def simulate_spec(spec: RunSpec) -> SweepPoint:
     return _result_to_point(spec, result)
 
 
-def _spec_batch_config(spec: RunSpec) -> BatchConfig:
+def _spec_batch_config(spec: RunSpec, workload=None) -> BatchConfig:
     """The :func:`simulate_batch` lane configuration equivalent to
-    :func:`simulate_spec`'s scalar run (same seeds, same knobs)."""
+    :func:`simulate_spec`'s scalar run (same seeds, same knobs).
+
+    ``workload`` is the per-lane workload override (``None`` inherits the
+    batch's shared workload) — how load points of one base trace stack into
+    a single lock-step batch.
+    """
     return BatchConfig(
         cluster=spec.cluster.materialize(),
         estimator=spec.estimator.materialize(),
@@ -229,6 +236,10 @@ def _spec_batch_config(spec: RunSpec) -> BatchConfig:
         seed=spec.seed,
         spurious_failure_prob=spec.faults.spurious,
         fault_config=_spec_fault_config(spec),
+        # Per-lane override: None inherits the batch-wide flag, so only
+        # specs that ask for the per-attempt trace pay for it.
+        collect_attempts=spec.collect_attempts or None,
+        workload=workload,
     )
 
 
@@ -315,21 +326,23 @@ def execute_batch(specs: Sequence[RunSpec]) -> List[RunOutcome]:
     batch and the executor pays one future round-trip instead of one per
     spec.
 
-    Specs sharing the *same* workload (identical ``WorkloadSpec``,
-    including the load scaling) additionally advance in lock-step through
-    :func:`repro.sim.batch.simulate_batch` — one shared arrival decode and
-    event frontier for the whole group.  The batched engine is gated
-    bit-identical to the scalar one (``tests/sim/test_engine_fingerprints``),
-    so results are exactly what per-spec execution would have produced; the
-    group's wall clock is split evenly across its members and each outcome
-    records the ``batch_width`` it ran at.  Any failure inside a lock-step
-    group falls back to per-spec execution, so one bad spec reports its own
-    error instead of sinking its batch-mates.
+    Specs sharing the same *base* trace (identical ``WorkloadSpec`` up to
+    the load scaling — :meth:`WorkloadSpec.base_key`) additionally advance
+    in lock-step through :func:`repro.sim.batch.simulate_batch`: load
+    scaling rewrites only the arrival schedule, so lanes at different load
+    points carry per-lane workload overrides while the whole group pays a
+    single call.  The batched engine is gated bit-identical to the scalar
+    one (``tests/sim/test_engine_fingerprints``), so results are exactly
+    what per-spec execution would have produced; the group's wall clock is
+    split evenly across its members and each outcome records the
+    ``batch_width`` it ran at.  Any failure inside a lock-step group falls
+    back to per-spec execution, so one bad spec reports its own error
+    instead of sinking its batch-mates.
     """
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
     groups: Dict[object, List[int]] = {}
     for idx, spec in enumerate(specs):
-        groups.setdefault(spec.workload, []).append(idx)
+        groups.setdefault(spec.workload.base_key(), []).append(idx)
     for indices in groups.values():
         if len(indices) == 1:
             outcomes[indices[0]] = execute_spec(specs[indices[0]])
@@ -337,8 +350,28 @@ def execute_batch(specs: Sequence[RunSpec]) -> List[RunOutcome]:
         members = [specs[idx] for idx in indices]
         t0 = time.perf_counter()
         try:
-            workload = members[0].workload.materialize()
-            configs = [_spec_batch_config(spec) for spec in members]
+            # One materialization per distinct load point; lanes at the
+            # shared (first) workload carry no override.
+            materialized: Dict[object, object] = {}
+            for spec in members:
+                if spec.workload not in materialized:
+                    materialized[spec.workload] = spec.workload.materialize()
+            workload = materialized[members[0].workload]
+            configs = [
+                _spec_batch_config(
+                    spec,
+                    workload=(
+                        None
+                        if materialized[spec.workload] is workload
+                        else materialized[spec.workload]
+                    ),
+                )
+                for spec in members
+            ]
+            # Batch-wide default: no per-attempt trace (sweep points
+            # aggregate).  Lanes whose spec sets ``collect_attempts`` carry
+            # a per-lane override in their BatchConfig, so they keep their
+            # records instead of silently dropping them.
             results = simulate_batch(workload, configs, collect_attempts=False)
             wall = (time.perf_counter() - t0) / len(indices)
             rss = _peak_rss_kb()
@@ -854,26 +887,54 @@ def _run_with_retries(
 
 
 def _same_workload_batches(
-    specs: Sequence[RunSpec], batch_size: int
+    specs: Sequence[RunSpec], batch_size: int, workers: int = 1
 ) -> List[List[int]]:
-    """Spec indices chunked into same-workload batches of ``batch_size``.
+    """Spec indices batched by base trace, at adaptive lock-step width.
 
-    Grouping is by the *full* ``WorkloadSpec`` (base trace **and** load
-    scaling), since only specs over the identical materialized workload can
-    share a lock-step arrival stream.  Batches come back ordered by their
-    first member, so execution stays in near-spec order.
+    Grouping is by ``WorkloadSpec.base_key()`` — the base trace provenance
+    with the load scaling factored out — regardless of submission order:
+    interleaved grids (e.g. an estimator x memory lattice iterating the
+    estimator in the outer loop) and load sweeps (fig5's estimator x load
+    grid) both stack full-width, since load scaling only rewrites arrival
+    times and ``execute_batch`` gives each load point its own lane-level
+    workload override.
+
+    Width adapts to each group's same-trace depth: a group runs as few
+    lock-step units as the ``batch_size`` cap allows, so a deep stack of
+    configs over one trace rides one shared event frontier instead of a
+    fixed-width chunking.  A pooled sweep (``workers > 1``) splits deep
+    stacks further when the grid has fewer groups than workers, so enough
+    units stay in flight that batching never starves the pool.  Within a
+    unit, specs over the *identical* workload (same load point) sit
+    adjacent and whole same-load stacks travel together wherever the
+    width allows, so each unit decodes — and holds resident — as few
+    distinct arrival schedules as possible.  Batches come back ordered by
+    their first member, so execution stays in near-spec order.
     """
     if batch_size <= 1:
         return [[j] for j in range(len(specs))]
     groups: Dict[object, List[int]] = {}
     for j, spec in enumerate(specs):
-        groups.setdefault(spec.workload, []).append(j)
+        groups.setdefault(spec.workload.base_key(), []).append(j)
     batches: List[List[int]] = []
+    spread = max(1, workers // max(1, len(groups)))
     for indices in groups.values():
-        batches.extend(
-            indices[i : i + batch_size]
-            for i in range(0, len(indices), batch_size)
-        )
+        depth = len(indices)
+        n_units = max(spread, -(-depth // batch_size))
+        width = min(batch_size, -(-depth // n_units))  # balanced ceiling
+        stacks: Dict[object, List[int]] = {}
+        for j in indices:
+            stacks.setdefault(specs[j].workload, []).append(j)
+        unit: List[int] = []
+        for stack in stacks.values():
+            for i in range(0, len(stack), width):
+                chunk = stack[i : i + width]
+                if unit and len(unit) + len(chunk) > width:
+                    batches.append(unit)
+                    unit = []
+                unit.extend(chunk)
+        if unit:
+            batches.append(unit)
     batches.sort(key=lambda batch: batch[0])
     return batches
 
@@ -1016,7 +1077,7 @@ class _PoolExecution:
         """
         if self.timeout is not None:
             return [[j] for j in range(len(self.specs))]
-        return _same_workload_batches(self.specs, self.batch_size)
+        return _same_workload_batches(self.specs, self.batch_size, self.workers)
 
     # Quarantine after more pool crashes than plausible for a bystander.
     @property

@@ -6,36 +6,45 @@ jobs/s the event loop — not the arrival decode — dominates, and every config
 pays it in full.  :func:`simulate_batch` amortizes the shared work: arrivals
 are decoded **vectorized from** :class:`~repro.workload.columns.JobColumns`
 (``.tolist()`` column lists; no per-:class:`~repro.workload.job.Job` object
-on the hot path), one merged event frontier advances all K configs in
-lock-step, and each config keeps array-backed queue/cluster/estimator-group
-state instead of the scalar engine's per-event object graph.
+on the hot path), per-ladder index columns and runtime-estimate columns are
+precomputed once per batch, the successive-approximation group state of all
+K lanes is seeded as ``(K, n_groups)`` NumPy matrices — including the
+arrival-estimate cache, computed by one masked-``np.where`` kernel
+(:func:`seed_arrival_caches`) instead of K×G scalar ladder walks — and each
+config keeps array-backed queue/cluster/estimator-group state instead of
+the scalar engine's per-event object graph.
 
 Two lane implementations sit behind one driver:
 
-* **Fast lane** — the paper's hot configuration (FCFS + best-fit cluster +
+* **Fast lane** — the paper's hot configurations: FCFS, SJF or EASY
+  backfilling over a best-fit or first-fit cluster with
   :class:`~repro.core.baselines.NoEstimation` or default-keyed
   :class:`~repro.core.successive.SuccessiveApproximation`, spurious failures
-  allowed, no fault injection / observer / timeline).  Queue entries are
+  allowed, no fault injection / observer / timeline.  Queue entries are
   small mutable lists over row indices, allocation is a free-count list per
-  capacity level, and the successive-approximation group state of all K
-  lanes is seeded as one ``(K, n_groups)`` NumPy matrix (vectorized
-  ``np.unique`` similarity-group resolution) whose rows become the per-lane
-  working arrays.  Estimate/observe/outcome are inlined with the exact
-  float-op order of the scalar code, so results are bit-identical.
-* **Engine lane** — every other configuration (other estimators/policies,
-  fault injection, observers, timeline recording) wraps a scalar
+  capacity level with a precomputed fill-order table per (strategy, ladder
+  index), and arrival-time estimates come from a per-group cache memoized on
+  the group's observe-version — refilled scalar-per-group on invalidation,
+  seeded for all lanes at once by the vectorized ``(K, G)`` kernel.
+  Estimate/observe/outcome are inlined with the exact float-op order of the
+  scalar code, so results are bit-identical.
+* **Engine lane** — every other configuration (other estimators/policies/
+  strategies, fault injection, observers, timeline recording) wraps a scalar
   :class:`~repro.sim.engine.Simulation` via its streaming API
   (``begin_stream``/``stream_arrival``/``step_internal``/``end_stream``),
   which replays ``run()``'s per-event sequence verbatim.  Slower, but the
   bit-identical guarantee holds for the *whole* configuration space.
 
-The merged frontier preserves the scalar event order per lane: arrivals are
-shared and fire from a sorted cursor; internal events (completions, node
-faults/repairs) live on per-lane heaps keyed ``(time, kind)`` exactly as the
-scalar heap orders them, and a heap event beats an arrival at the same
-instant iff its kind sorts before ``EventKind.ARRIVAL`` — the scalar
-tie-break.  Within a lane, same-key events fire in push order, which is the
-scalar seq order.  Cross-lane order is irrelevant: lanes share no state.
+Lanes share no mutable state, so the cross-lane interleaving of events is
+unobservable: replaying each lane's full event sequence in turn produces
+byte-identical results to advancing all lanes behind one merged frontier,
+at a fraction of the dispatch cost.  Each lane's own run loop preserves the
+scalar event order: internal events (completions, node faults/repairs) live
+on the lane's heap keyed ``(time, kind)`` exactly as the scalar heap orders
+them, and a heap event beats an arrival at the same instant iff its kind
+sorts before ``EventKind.ARRIVAL`` — the scalar tie-break.  Fast-lane heaps
+hold only completions (kind 0), so their arrival check reduces to
+``heap[0][0] <= t_arrival``.
 
 Every batched config is guaranteed to produce a :class:`SimResult`
 bit-identical (see :meth:`SimResult.fingerprint`) to
@@ -50,6 +59,7 @@ from dataclasses import dataclass
 from collections import deque
 from heapq import heappush as _heappush, heappop as _heappop
 from math import isfinite as _isfinite, inf as _inf
+from operator import itemgetter as _itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -62,7 +72,7 @@ from repro.obs.base import SimObserver
 from repro.sim.engine import Simulation
 from repro.sim.failure import FailureModel
 from repro.sim.faults import FaultConfig, NodeFaultInjector, fault_rng
-from repro.sim.policies import Fcfs, Policy
+from repro.sim.policies import EasyBackfilling, Fcfs, Policy, ShortestJobFirst
 from repro.sim.records import AttemptRecord, JobSummary, SimResult
 from repro.similarity.keys import by_user_app_reqmem
 from repro.util.rng import RngStream, as_generator
@@ -71,9 +81,16 @@ from repro.workload.job import Workload
 #: Same expression as successive.py's retry-floor bump, evaluated once.
 _ONE_PLUS_EPS = 1 + 1e-12
 
-#: Heap-entry kind of an arrival in the merged frontier's tie-break — the
-#: scalar heap's ``int(EventKind.ARRIVAL)``.
+#: Heap-entry kind of an arrival in a lane's tie-break — the scalar heap's
+#: ``int(EventKind.ARRIVAL)``.
 _ARRIVAL_KIND = 2
+
+#: Stable running-view sort key (mirrors the scalar's
+#: ``sorted(running, key=lambda r: r.end_time)``).
+_END_TIME = _itemgetter(0)
+
+#: Cluster strategies the fast lane's fill-order table models.
+_FAST_STRATEGIES = ("best_fit", "first_fit")
 
 
 @dataclass
@@ -81,6 +98,16 @@ class BatchConfig:
     """One lane of a batched run: everything :func:`simulate` takes except
     the (shared) workload.  ``record_timeline``/``observer`` force the lane
     onto the engine path; the defaults keep it eligible for the fast lane.
+
+    ``collect_attempts`` overrides :func:`simulate_batch`'s batch-wide flag
+    for this lane (``None`` inherits it) — sweeps mixing attempt-collecting
+    and summary-only specs batch together without over-collecting.
+
+    ``workload`` overrides the batch's shared workload for this lane — the
+    sweep executor uses it to stack *load points* of one base trace into a
+    single batch (load scaling changes only arrival times).  Lanes on the
+    same workload object share one decoded arrival stream; any workload is
+    accepted, the override does not have to be derived from the shared one.
     """
 
     cluster: Cluster
@@ -91,6 +118,8 @@ class BatchConfig:
     fault_config: Optional[FaultConfig] = None
     record_timeline: bool = False
     observer: Optional[SimObserver] = None
+    collect_attempts: Optional[bool] = None
+    workload: Optional[Workload] = None
 
 
 class _SharedTrace:
@@ -100,11 +129,18 @@ class _SharedTrace:
     resulting plain-Python lists index faster than NumPy scalars in the
     per-event loops.  ``Job`` objects are materialized lazily and only when
     something off the hot path needs them (engine lanes, result assembly).
+
+    Per-ladder derived columns (the ``bisect_left`` index of every row's
+    request, the per-group request indices, and the float→index memo the
+    estimator paths share) are computed once per distinct capacity ladder
+    and shared across all lanes on that ladder — K lanes pay one
+    ``np.searchsorted`` pass instead of K×n dict probes.
     """
 
     __slots__ = (
         "workload", "columns", "n", "submit", "run_time", "procs",
-        "req_mem", "used_mem", "job_id", "_jobs", "_groups",
+        "req_mem", "used_mem", "job_id", "_jobs", "_groups", "_ladders",
+        "_rte", "_unique_ids",
     )
 
     def __init__(self, workload: Workload) -> None:
@@ -120,12 +156,65 @@ class _SharedTrace:
         self.job_id: List[int] = cols.job_id.tolist()
         self._jobs = None
         self._groups = None
+        self._ladders: Dict[tuple, dict] = {}
+        self._rte = None
+        self._unique_ids = None
 
     def jobs(self) -> list:
         """Row-aligned ``Job`` objects (arrival order); built on first use."""
         if self._jobs is None:
             self._jobs = list(self.workload)
         return self._jobs
+
+    def runtime_estimates(self) -> List[float]:
+        """Per-row ``Job.runtime_estimate`` (req_time, else run_time) —
+        the scheduler-visible runtime SJF/backfilling sort by.  One
+        vectorized ``np.where`` instead of n property calls."""
+        if self._rte is None:
+            cols = self.columns
+            self._rte = np.where(
+                cols.req_time > 0, cols.req_time, cols.run_time
+            ).tolist()
+        return self._rte
+
+    def unique_job_ids(self) -> bool:
+        """Whether every row carries a distinct job id.
+
+        The arrival-estimate cache skips the per-job retry floor because a
+        first submission (attempt 0) cannot have failed before — which only
+        holds when ids are unique; duplicated ids disable the cache for the
+        whole batch (correctness over speed)."""
+        if self._unique_ids is None:
+            ids = self.columns.job_id
+            self._unique_ids = bool(np.unique(ids).shape[0] == ids.shape[0])
+        return self._unique_ids
+
+    def ladder_cache(self, levels: tuple) -> dict:
+        """Shared per-ladder derived state, keyed by the levels tuple."""
+        cache = self._ladders.get(levels)
+        if cache is None:
+            arr = np.asarray(levels, dtype=np.float64)
+            cache = {
+                "arr": arr,
+                "row_req_idx": np.searchsorted(
+                    arr, self.columns.req_mem, side="left"
+                ).tolist(),
+                "group_req_idx": None,
+                "memo": {},
+            }
+            self._ladders[levels] = cache
+        return cache
+
+    def group_req_indices(self, levels: tuple) -> List[int]:
+        """Per-group ``bisect_left(levels, group_req)`` (vectorized, memoized
+        per ladder)."""
+        cache = self.ladder_cache(levels)
+        if cache["group_req_idx"] is None:
+            _, group_req = self.group_info()
+            cache["group_req_idx"] = np.searchsorted(
+                cache["arr"], group_req, side="left"
+            ).tolist()
+        return cache["group_req_idx"]
 
     def group_info(self) -> Tuple[List[int], np.ndarray]:
         """Vectorized similarity-group resolution for the paper's key.
@@ -170,24 +259,95 @@ def seed_group_arrays(
     return estimate, alpha, group_req
 
 
+def seed_arrival_caches(
+    estimate: np.ndarray,
+    group_req: np.ndarray,
+    levels: Sequence[float],
+    serial_probing: Sequence[bool],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Masked-NumPy arrival-estimate kernel over the ``(K, G)`` state.
+
+    Computes, for every (lane, group) cell at once, what the scalar
+    ``SuccessiveApproximation.estimate`` returns for a *first* submission
+    (attempt 0, so no per-job retry floor): the ladder round-up of the
+    group's running estimate clamped to the request, plus the serial-probing
+    decision inputs.  Pure ``searchsorted``/compare/``where`` selects of the
+    original float64 values — no arithmetic — so every cell is bit-identical
+    to the scalar walk.
+
+    Returns ``(val, vidx, preq, pidx)``, each ``(K, G)``:
+
+    * ``val``/``vidx`` — the estimate a probing (or non-probing) arrival
+      gets, and its ladder index;
+    * ``preq`` — the safe fallback requirement when the group's probe slot
+      is already held by another job, or ``-1.0`` where the probe branch
+      does not apply (then ``val`` is unconditional);
+    * ``pidx`` — ``preq``'s ladder index (0 where unused).
+
+    Group state mutates only under ``observe`` (which bumps the group's
+    version), so each row seeds a per-lane cache memoized on that version;
+    lanes refill single cells scalar-side as versions move.  Called at
+    batch start this vectorizes K×G ladder walks into four array ops —
+    per-event updates stay scalar because exactly one (lane, group) cell
+    changes per completion, where a masked (K, G) pass would cost more than
+    it saves.
+    """
+    levels_arr = np.asarray(levels, dtype=np.float64)
+    nlev = levels_arr.shape[0]
+    req = np.asarray(group_req, dtype=np.float64)  # (G,)
+    est = np.asarray(estimate, dtype=np.float64)  # (K, G)
+    probing = np.asarray(serial_probing, dtype=bool).reshape(-1, 1)  # (K, 1)
+    padded = np.append(levels_arr, np.inf)
+
+    rqi = np.searchsorted(levels_arr, req, side="left")  # (G,)
+    idx = np.searchsorted(levels_arr, est, side="left")  # (K, G)
+    overflow = idx == nlev  # round_up(estimate) is None -> request
+    rounded = padded[idx]
+    below = (rounded < req) & ~overflow
+    val = np.where(below, rounded, req)
+    vidx = np.where(below, idx, rqi)
+
+    # Serial probing: only a lane whose estimate dropped below the group's
+    # safe value (== the request while nothing succeeded reduced) rides the
+    # single probe slot; everyone else gets the safe requirement.
+    s_over = rqi == nlev
+    safe_req = np.where(s_over | (padded[rqi] > req), req, padded[rqi])  # (G,)
+    needs = probing & (est < req) & (val < safe_req) & ~overflow
+    preq = np.where(needs, safe_req, -1.0)
+    pidx = np.where(needs, rqi, 0)
+    return (
+        val,
+        vidx.astype(np.int64),
+        preq,
+        pidx.astype(np.int64),
+    )
+
+
 class _FastLane:
-    """Array-backed FCFS/best-fit lane, bit-identical to the scalar engine.
+    """Array-backed FCFS/SJF/backfilling lane, bit-identical to the scalar
+    engine.
 
     Hot state is plain lists (free counts per level, per-row counters,
     group-state rows handed down from the ``(K, G)`` seed matrices); queue
     entries are mutable ``[row, attempt, requirement, enqueue_time,
-    req_version]`` lists; completions are raw heap tuples.  Attempt records
-    and job summaries are assembled *after* the run from accumulated
-    scalars, so the per-event path allocates almost nothing.
+    req_version, req_idx]`` lists; completions are raw heap tuples.  The
+    scheduling pass is policy-dispatched (``self.sched``) but all three
+    disciplines share the same refresh/allocate/outcome blocks, inlined
+    with the scalar float-op order.  Attempt records and job summaries are
+    assembled *after* the run from accumulated scalars, so the per-event
+    path allocates almost nothing.
     """
 
     __slots__ = (
         "trace", "cluster", "est", "spurious", "uniform", "random",
         "c_procs", "c_req_mem", "c_run_time", "c_used_mem", "c_job_id",
-        "levels", "nlev", "free", "totals", "total_suffix",
+        "c_rte", "row_req_idx",
+        "levels", "nlev", "free", "totals", "total_suffix", "fill",
         "idx_memo", "queue", "heap", "seq",
-        "mode_none", "refresh", "gid", "gest", "galpha", "greq",
+        "policy_name", "wake", "sched", "track_running", "running", "is_fcfs",
+        "mode_none", "refresh", "gid", "gest", "galpha", "greq", "greq_idx",
         "glast_safe", "gprobe", "gsafe_fail", "gver", "failed_at",
+        "cache_on", "gc_ver", "gc_val", "gc_vidx", "gc_preq", "gc_pidx",
         "alpha0", "beta", "serial_probing", "explicit_guard",
         "max_reduced", "mixed_threshold",
         "n_att", "n_resfail", "wasted_job", "final_start", "final_end",
@@ -202,8 +362,9 @@ class _FastLane:
         trace: _SharedTrace,
         config: BatchConfig,
         estimator: Estimator,
+        policy: Policy,
         collect_attempts: bool,
-        group_seed: Optional[Tuple[np.ndarray, np.ndarray, List[float]]] = None,
+        group_seed: Optional[tuple] = None,
     ) -> None:
         self.trace = trace
         self.cluster = config.cluster
@@ -219,13 +380,33 @@ class _FastLane:
         self.nlev = len(self.levels)
         self.totals = [config.cluster.total_at_level(l) for l in self.levels]
         self.free = list(self.totals)
-        # Suffix sums of the inventory: fits(procs, req) is one memoized
-        # bisect plus one comparison.
+        # Suffix sums of the inventory: fits(procs, req) is one list index
+        # plus one comparison (requirement indices travel with the queue
+        # entries, so the hot path never bisects).
         suffix = [0] * (self.nlev + 1)
         for j in range(self.nlev - 1, -1, -1):
             suffix[j] = suffix[j + 1] + self.totals[j]
         self.total_suffix = suffix
-        self.idx_memo: Dict[float, int] = {}
+        shared = trace.ladder_cache(self.levels)
+        self.idx_memo: Dict[float, int] = shared["memo"]
+        self.row_req_idx: List[int] = shared["row_req_idx"]
+        # Allocation fill order per requirement index: ascending eligible
+        # levels for best_fit, declaration order filtered to the eligible
+        # set for first_fit — the scalar Cluster._level_order, tabulated.
+        nlev = self.nlev
+        if config.cluster.strategy == "first_fit":
+            declared = [
+                self.levels.index(lvl)
+                for lvl in config.cluster._declared_order
+            ]
+            self.fill = [
+                tuple(j for j in declared if j >= idx)
+                for idx in range(nlev + 1)
+            ]
+        else:
+            self.fill = [
+                tuple(range(idx, nlev)) for idx in range(nlev + 1)
+            ]
 
         # Hot-path column access goes through plain Python lists bound
         # directly on the lane (shared across lanes; never mutated).
@@ -239,17 +420,37 @@ class _FastLane:
         self.heap: List[tuple] = []
         self.seq = 0
 
+        kind = type(policy)
+        self.policy_name = policy.name
+        self.wake = bool(policy.tail_wakes)
+        self.track_running = kind is EasyBackfilling
+        self.running: Dict[int, tuple] = {}
+        self.is_fcfs = kind is Fcfs
+        if kind is Fcfs:
+            self.sched = self._sched_fcfs
+        elif kind is ShortestJobFirst:
+            self.sched = self._sched_sjf
+        else:
+            self.sched = self._sched_bf
+        if kind is not Fcfs:
+            self.c_rte = trace.runtime_estimates()
+        else:
+            self.c_rte = None
+
         self.mode_none = type(estimator) is NoEstimation
         self.refresh = not self.mode_none
+        self.cache_on = False
         if self.mode_none:
             self.gid = None
         else:
             gid, _ = trace.group_info()
             self.gid = gid
-            est_row, alpha_row, greq = group_seed
+            (est_row, alpha_row, greq, cache_val, cache_vidx, cache_preq,
+             cache_pidx) = group_seed
             self.gest: List[float] = est_row.tolist()
             self.galpha: List[float] = alpha_row.tolist()
             self.greq: List[float] = greq
+            self.greq_idx: List[int] = trace.group_req_indices(self.levels)
             n_groups = len(self.greq)
             self.glast_safe: List[Optional[float]] = [None] * n_groups
             self.gprobe: List[Optional[Tuple[int, int]]] = [None] * n_groups
@@ -262,6 +463,16 @@ class _FastLane:
             self.explicit_guard = estimator.explicit_guard
             self.max_reduced = estimator.max_reduced_attempts
             self.mixed_threshold = estimator.mixed_group_threshold
+            # Arrival-estimate cache, memoized on the group's observe
+            # version (probe *takes* don't bump it, and first-taker-wins is
+            # stable within a version).  Valid only while attempt-0 rows
+            # can't carry a retry floor — i.e. unique job ids.
+            self.cache_on = self.max_reduced > 0 and trace.unique_job_ids()
+            self.gc_ver = [0] * n_groups
+            self.gc_val: List[float] = cache_val.tolist()
+            self.gc_vidx: List[int] = cache_vidx.tolist()
+            self.gc_preq: List[float] = cache_preq.tolist()
+            self.gc_pidx: List[int] = cache_pidx.tolist()
 
         n = trace.n
         self.n_att = [0] * n
@@ -293,9 +504,6 @@ class _FastLane:
         if i is None:
             memo[value] = i = _bisect_left(self.levels, value)
         return i
-
-    def _fits(self, procs: int, requirement: float) -> bool:
-        return self.total_suffix[self._idx(requirement)] >= procs
 
     # ------------------------------------------------------------ estimator
     def _estimate(self, i: int, attempt: int) -> float:
@@ -343,6 +551,67 @@ class _FastLane:
             if e_prime <= floor:
                 e_prime = req
         return e_prime
+
+    def _refill(self, g: int) -> None:
+        """Recompute group ``g``'s arrival-estimate cache at its current
+        version — the scalar ``estimate`` walk minus the per-job parts the
+        cache's validity argument excludes (attempt 0, no retry floor)."""
+        levels = self.levels
+        nlev = self.nlev
+        memo = self.idx_memo
+        req = self.greq[g]
+        rqi = self.greq_idx[g]
+        est = self.gest[g]
+        idx = memo.get(est)
+        if idx is None:
+            memo[est] = idx = _bisect_left(levels, est)
+        preq = -1.0
+        pidx = 0
+        if idx == nlev:
+            val, vidx = req, rqi
+        else:
+            rounded = levels[idx]
+            if rounded < req:
+                val, vidx = rounded, idx
+            else:
+                val, vidx = req, rqi
+            if self.serial_probing:
+                last_safe = self.glast_safe[g]
+                safe_value = req if last_safe is None else last_safe
+                if est < safe_value:
+                    sidx = memo.get(safe_value)
+                    if sidx is None:
+                        memo[safe_value] = sidx = _bisect_left(
+                            levels, safe_value
+                        )
+                    if sidx == nlev or levels[sidx] > req:
+                        safe_req, sridx = req, rqi
+                    else:
+                        safe_req, sridx = levels[sidx], sidx
+                    if val < safe_req:
+                        preq = safe_req
+                        pidx = sridx
+        self.gc_val[g] = val
+        self.gc_vidx[g] = vidx
+        self.gc_preq[g] = preq
+        self.gc_pidx[g] = pidx
+        self.gc_ver[g] = self.gver[g]
+
+    def _arrival_estimate(self, i: int) -> Tuple[float, int]:
+        """Cached attempt-0 estimate for row ``i``: ``(requirement, ladder
+        index)``, replaying the probe take exactly as the scalar does."""
+        g = self.gid[i]
+        if self.gc_ver[g] != self.gver[g]:
+            self._refill(g)
+        preq = self.gc_preq[g]
+        if preq < 0.0:
+            return self.gc_val[g], self.gc_vidx[g]
+        ticket = (self.c_job_id[i], 0)
+        probe = self.gprobe[g]
+        if probe is None or probe == ticket:
+            self.gprobe[g] = ticket
+            return self.gc_val[g], self.gc_vidx[g]
+        return preq, self.gc_pidx[g]
 
     def _observe(
         self, i: int, attempt: int, succeeded: bool,
@@ -406,48 +675,135 @@ class _FastLane:
         if self.mode_none:
             requirement = self.c_req_mem[i]
             version = -1
+            ridx = self.row_req_idx[i]
+        elif self.cache_on:
+            requirement, ridx = self._arrival_estimate(i)
+            version = self.gver[self.gid[i]]
         else:
             requirement = self._estimate(i, 0)
             version = self.gver[self.gid[i]]
-        if self.total_suffix[self._idx(requirement)] < self.c_procs[i]:
+            ridx = self._idx(requirement)
+        if self.total_suffix[ridx] < self.c_procs[i]:
             self.rejected_rows.append(i)
             self.dead[i] = True
             return
         queue = self.queue
-        if queue:
-            queue.append([i, 0, requirement, now, version])
-            return  # Fcfs.tail_wakes is False: the blocked head still blocks
-        queue.append([i, 0, requirement, now, version])
-        self._sched(now)
+        queue.append([i, 0, requirement, now, version, ridx])
+        # Policy.tail_wakes: strict head-of-line disciplines (FCFS) skip the
+        # pass for tail appends while the head stays blocked; an append to
+        # an empty queue is the new head and always wakes.
+        if self.wake or len(queue) == 1:
+            self.sched(now)
 
     def _requeue_failed(self, now: float, i: int, attempt: int) -> None:
         """Scalar _enqueue(attempt>0, at_head=True): a failed resubmission."""
         if self.mode_none:
             requirement = self.c_req_mem[i]
             version = -1
+            ridx = self.row_req_idx[i]
         else:
             requirement = self._estimate(i, attempt)
             version = self.gver[self.gid[i]]
-            if self.total_suffix[self._idx(requirement)] < self.c_procs[i]:
+            ridx = self._idx(requirement)
+            if self.total_suffix[ridx] < self.c_procs[i]:
                 requirement = self.c_req_mem[i]
-        if self.total_suffix[self._idx(requirement)] < self.c_procs[i]:
+                ridx = self.row_req_idx[i]
+        if self.total_suffix[ridx] < self.c_procs[i]:
             self.rejected_rows.append(i)
             self.dead[i] = True
             return
-        self.queue.appendleft([i, attempt, requirement, now, version])
+        self.queue.appendleft([i, attempt, requirement, now, version, ridx])
 
-    def _sched(self, now: float) -> None:
+    # ------------------------------------------------------------ schedulers
+    def _refresh_head(self, head: List) -> None:
+        """Late-binding head refresh, memoized on the group's version (the
+        scalar ``_schedule_pass`` preamble).  Applies to the queue *head*
+        only — exactly where the scalar engine refreshes."""
+        i = head[0]
+        version = self.gver[self.gid[i]]
+        if version == head[4]:
+            return
+        head[4] = version
+        attempt = head[1]
+        if attempt == 0 and self.cache_on:
+            refreshed, ridx = self._arrival_estimate(i)
+        else:
+            refreshed = self._estimate(i, attempt)
+            ridx = self._idx(refreshed)
+        if refreshed != head[2] and self.total_suffix[ridx] >= self.c_procs[i]:
+            head[2] = refreshed
+            head[5] = ridx
+
+    def _start_entry(self, now: float, entry: List) -> Optional[tuple]:
+        """Allocate, draw the outcome, and push the completion — the scalar
+        ``_start`` inlined.  Returns the running record for policies that
+        track the running set (backfilling), else None."""
+        free = self.free
+        levels = self.levels
+        i = entry[0]
+        procs = self.c_procs[i]
+        counts = []
+        remaining = procs
+        min_j = self.nlev
+        for j in self.fill[entry[5]]:
+            take = free[j]
+            if take > 0:
+                if j < min_j:
+                    min_j = j
+                if take > remaining:
+                    take = remaining
+                counts.append((j, take))
+                free[j] -= take
+                remaining -= take
+                if remaining == 0:
+                    break
+        granted = levels[min_j]  # min_capacity: smallest allocated level
+        # Outcome, drawn up front like the scalar FailureModel.
+        run_time = self.c_run_time[i]
+        if granted < self.c_used_mem[i]:
+            succeeded = False
+            duration = float(self.uniform(0.0, run_time))
+            resource_related = True
+        elif self.spurious > 0.0 and self.random() < self.spurious:
+            succeeded = False
+            duration = float(self.uniform(0.0, run_time))
+            resource_related = False
+        else:
+            succeeded = True
+            duration = run_time
+            resource_related = False
+        end_time = now + duration
+        if not _isfinite(end_time):
+            raise ValueError(f"event time must be finite, got {end_time!r}")
+        self.n_att[i] += 1
+        self.n_attempts += 1
+        requirement = entry[2]
+        if requirement < self.c_req_mem[i]:
+            self.n_reduced += 1
+        seq = self.seq
+        _heappush(
+            self.heap,
+            (end_time, 0, seq, i, entry[1], requirement, entry[3],
+             now, granted, counts, succeeded, resource_related),
+        )
+        self.seq = seq + 1
+        if self.track_running:
+            rec = (end_time, counts, procs)
+            self.running[seq] = rec
+            return rec
+        return None
+
+    def _sched_fcfs(self, now: float) -> None:
         queue = self.queue
         refresh = self.refresh
         free = self.free
         nlev = self.nlev
         levels = self.levels
-        memo = self.idx_memo
         c_procs = self.c_procs
-        c_req_mem = self.c_req_mem
         c_run_time = self.c_run_time
         c_used_mem = self.c_used_mem
         heap = self.heap
+        fill = self.fill
         spurious = self.spurious
         while queue:
             head = queue[0]
@@ -456,33 +812,36 @@ class _FastLane:
                 version = self.gver[self.gid[i]]
                 if version != head[4]:
                     head[4] = version
-                    refreshed = self._estimate(i, head[1])
-                    if refreshed != head[2] and self._fits(
-                        c_procs[i], refreshed
+                    attempt = head[1]
+                    if attempt == 0 and self.cache_on:
+                        refreshed, ridx = self._arrival_estimate(i)
+                    else:
+                        refreshed = self._estimate(i, attempt)
+                        ridx = self._idx(refreshed)
+                    if refreshed != head[2] and (
+                        self.total_suffix[ridx] >= c_procs[i]
                     ):
                         head[2] = refreshed
+                        head[5] = ridx
             procs = c_procs[i]
-            requirement = head[2]
-            idx = memo.get(requirement)
-            if idx is None:
-                memo[requirement] = idx = _bisect_left(levels, requirement)
+            idx = head[5]
             available = 0
             for j in range(idx, nlev):
                 available += free[j]
             if available < procs:  # Fcfs.select returned None
                 return
             queue.popleft()
-            # Allocation: fill ascending from the smallest adequate level.
-            # counts holds (level_index, take) pairs; indices resolve to
-            # levels only when a record is materialized.
+            # Allocation: fill order from the per-strategy table.  counts
+            # holds (level_index, take) pairs; indices resolve to levels
+            # only when a record is materialized.
             counts = []
             remaining = procs
-            granted = 0.0
-            for j in range(idx, nlev):
+            min_j = nlev
+            for j in fill[idx]:
                 take = free[j]
                 if take > 0:
-                    if not counts:
-                        granted = levels[j]  # min_capacity
+                    if j < min_j:
+                        min_j = j
                     if take > remaining:
                         take = remaining
                     counts.append((j, take))
@@ -490,6 +849,7 @@ class _FastLane:
                     remaining -= take
                     if remaining == 0:
                         break
+            granted = levels[min_j]
             # Outcome, drawn up front like the scalar FailureModel.
             run_time = c_run_time[i]
             if granted < c_used_mem[i]:
@@ -506,24 +866,168 @@ class _FastLane:
                 resource_related = False
             end_time = now + duration
             if not _isfinite(end_time):
-                raise ValueError(f"event time must be finite, got {end_time!r}")
+                raise ValueError(
+                    f"event time must be finite, got {end_time!r}"
+                )
             self.n_att[i] += 1
             self.n_attempts += 1
-            if requirement < c_req_mem[i]:
+            if head[2] < self.c_req_mem[i]:
                 self.n_reduced += 1
             _heappush(
                 heap,
-                (end_time, 0, self.seq, i, head[1], requirement, head[3],
+                (end_time, 0, self.seq, i, head[1], head[2], head[3],
                  now, granted, counts, succeeded, resource_related),
             )
             self.seq += 1
 
+    def _sched_sjf(self, now: float) -> None:
+        queue = self.queue
+        free = self.free
+        nlev = self.nlev
+        c_procs = self.c_procs
+        c_rte = self.c_rte
+        while queue:
+            if self.refresh:
+                self._refresh_head(queue[0])
+            # ShortestJobFirst.select: one forward scan, strict "<" keeps
+            # the earliest index on ties; only the best entry is fit-checked
+            # (head-of-line blocking on the shortest job).
+            best = None
+            bidx = 0
+            bentry = None
+            for qi, entry in enumerate(queue):
+                key = (c_rte[entry[0]], entry[3])
+                if best is None or key < best:
+                    best = key
+                    bidx = qi
+                    bentry = entry
+            procs = c_procs[bentry[0]]
+            available = 0
+            for j in range(bentry[5], nlev):
+                available += free[j]
+            if available < procs:
+                return
+            if bidx == 0:
+                queue.popleft()
+            else:
+                del queue[bidx]
+            self._start_entry(now, bentry)
+
+    def _earliest_start(
+        self, now: float, hidx: int, needed: int, view: List[tuple]
+    ) -> Optional[float]:
+        """EasyBackfilling._earliest_start over raw records: the earliest
+        time ``needed`` nodes at ladder index >= ``hidx`` come free, given
+        current free counts plus future releases (stable-sorted by end
+        time, like the scalar's ``sorted(running, key=end_time)``)."""
+        free = self.free
+        nlev = self.nlev
+        avail = 0
+        for j in range(hidx, nlev):
+            avail += free[j]
+        if avail >= needed:
+            return now
+        for rec in sorted(view, key=_END_TIME):
+            for j, take in rec[1]:
+                if j >= hidx:
+                    avail += take
+            if avail >= needed:
+                return rec[0]
+        return None  # never enough adequate nodes
+
+    def _respects_reservation(
+        self, now: float, hidx: int, hprocs: int, entry: List,
+        shadow: float, view: List[tuple],
+    ) -> bool:
+        """Hypothetically allocate the candidate, recompute the head's
+        earliest start with the candidate running, roll back — the scalar
+        EasyBackfilling._respects_reservation."""
+        free = self.free
+        i = entry[0]
+        procs = self.c_procs[i]
+        counts = []
+        remaining = procs
+        for j in self.fill[entry[5]]:
+            take = free[j]
+            if take > 0:
+                if take > remaining:
+                    take = remaining
+                counts.append((j, take))
+                free[j] -= take
+                remaining -= take
+                if remaining == 0:
+                    break
+        try:
+            cand_end = now + self.c_rte[i]
+            pretend = view + [(cand_end, counts, procs)]
+            new_start = self._earliest_start(now, hidx, hprocs, pretend)
+            return new_start is not None and new_start <= shadow
+        finally:
+            for j, take in counts:
+                free[j] += take
+
+    def _sched_bf(self, now: float) -> None:
+        queue = self.queue
+        free = self.free
+        nlev = self.nlev
+        c_procs = self.c_procs
+        c_rte = self.c_rte
+        # The running view is built once per pass and appended to as jobs
+        # start (the scalar _schedule_pass does exactly this); dict
+        # insertion order mirrors the scalar's exec-id ordering through
+        # deletions.
+        view = list(self.running.values())
+        while queue:
+            head = queue[0]
+            if self.refresh:
+                self._refresh_head(head)
+            hi = head[0]
+            hprocs = c_procs[hi]
+            hidx = head[5]
+            available = 0
+            for j in range(hidx, nlev):
+                available += free[j]
+            if available >= hprocs:  # the head fits: no backfill needed
+                queue.popleft()
+                rec = self._start_entry(now, head)
+                view.append(rec)
+                continue
+            shadow = self._earliest_start(now, hidx, hprocs, view)
+            if shadow is None:
+                shadow = _inf
+            pick = -1
+            pentry = None
+            for qi, entry in enumerate(queue):
+                if qi == 0:
+                    continue  # the head holds the reservation
+                procs = c_procs[entry[0]]
+                avail = 0
+                for j in range(entry[5], nlev):
+                    avail += free[j]
+                if avail < procs:
+                    continue
+                if now + c_rte[entry[0]] <= shadow or (
+                    self._respects_reservation(
+                        now, hidx, hprocs, entry, shadow, view
+                    )
+                ):
+                    pick = qi
+                    pentry = entry
+                    break
+            if pick < 0:
+                return
+            del queue[pick]
+            rec = self._start_entry(now, pentry)
+            view.append(rec)
+
     def step(self) -> None:
-        (now, _kind, _seq, i, attempt, requirement, enqueue_time, start,
+        (now, _kind, seq, i, attempt, requirement, enqueue_time, start,
          granted, counts, succeeded, resource_related) = _heappop(self.heap)
         free = self.free
         for j, take in counts:
             free[j] += take
+        if self.track_running:
+            del self.running[seq]
         procs = self.c_procs[i]
         reduced = requirement < self.c_req_mem[i]
         node_seconds = (now - start) * procs
@@ -532,7 +1036,7 @@ class _FastLane:
             self.raw_attempts.append(
                 (self.c_job_id[i], attempt, enqueue_time, start, now, procs,
                  requirement, granted, succeeded, resource_related, reduced,
-                 tuple((levels[j], take) for j, take in counts))
+                 tuple(sorted((levels[j], take) for j, take in counts)))
             )
         if now > self.t_last_end:
             self.t_last_end = now
@@ -558,13 +1062,425 @@ class _FastLane:
         # Capacity was freed (and a failed job may have re-entered at the
         # head): the scalar engine's post-event pass always runs here.
         if self.queue:
-            self._sched(now)
+            self.sched(now)
 
-    def drain(self) -> None:
+    def run(self) -> None:
+        """Replay the whole trace through this lane.
+
+        The lane's heap holds completions only (kind 0), which sort before
+        an arrival (kind 2) at the same instant — so the scalar tie-break
+        reduces to ``heap[0][0] <= t_arrival``.  Lanes share no state, so
+        per-lane replay is event-order-identical to lock-step interleaving.
+
+        FCFS — the paper's discipline and the bulk of every sweep — takes
+        the fully inlined :meth:`_run_fcfs` driver; SJF/backfilling use the
+        generic method-dispatched loop below.
+        """
+        if self.is_fcfs:
+            self._run_fcfs()
+            return
         heap = self.heap
         step = self.step
+        feed = self.feed_arrival
+        for i, t in enumerate(self.trace.submit):
+            while heap and heap[0][0] <= t:
+                step()
+            feed(t, i)
         while heap:
             step()
+
+    def _run_fcfs(self) -> None:
+        # The megaloop: arrival ingestion, the FCFS scheduling pass,
+        # completion processing, and the successive-approximation observe
+        # from feed_arrival/_sched_fcfs/step/_observe, inlined into one
+        # driver with every hot name bound exactly once per lane (plain
+        # fast locals — no closures, so no cell indirection).  The generic
+        # path pays ~4 method calls plus dozens of attribute loads per
+        # event; here the only calls left on the hot path are the heap
+        # primitives, the RNG draws, and the cold helpers
+        # (_refill/_estimate/_requeue_failed).  The scheduling pass appears
+        # twice — the full while-loop after completions, and a single
+        # start-attempt on arrivals to an empty queue (a 1-entry queue with
+        # a fresh version needs no refresh and at most one start).  Logic
+        # is line-for-line the same as the generic methods — the
+        # fingerprint suite pins both paths to the scalar engine.
+        trace = self.trace
+        submit = trace.submit
+        queue = self.queue
+        heap = self.heap
+        free = self.free
+        levels = self.levels
+        nlev = self.nlev
+        fill = self.fill
+        total_suffix = self.total_suffix
+        c_procs = self.c_procs
+        c_req_mem = self.c_req_mem
+        c_run_time = self.c_run_time
+        c_used_mem = self.c_used_mem
+        c_job_id = self.c_job_id
+        row_req_idx = self.row_req_idx
+        uniform = self.uniform
+        random = self.random
+        spurious = self.spurious
+        collect = self.collect
+        mode_none = self.mode_none
+        refresh = self.refresh
+        cache_on = self.cache_on
+        estimate = self._estimate
+        idx_of = self._idx
+        requeue = self._requeue_failed
+        refill = self._refill
+        rejected = self.rejected_rows
+        dead = self.dead
+        n_att = self.n_att
+        n_resfail = self.n_resfail
+        wasted_job = self.wasted_job
+        final_start = self.final_start
+        final_end = self.final_end
+        final_req = self.final_req
+        final_granted = self.final_granted
+        final_reduced = self.final_reduced
+        completed = self.completed
+        raw_attempts = self.raw_attempts
+        heappush = _heappush
+        heappop = _heappop
+        isfinite = _isfinite
+        bisect = _bisect_left
+        one_plus = _ONE_PLUS_EPS
+        memo = self.idx_memo
+        memo_get = memo.get
+        if mode_none:
+            gid = gver = gprobe = glast_safe = greq = galpha = None
+            gest = gsafe_fail = failed_at = None
+            gc_ver = gc_val = gc_vidx = gc_preq = gc_pidx = None
+            explicit_guard = False
+            mixed_threshold = 0
+            beta = 1.0
+            max_reduced = 0
+        else:
+            gid = self.gid
+            gver = self.gver
+            gprobe = self.gprobe
+            glast_safe = self.glast_safe
+            greq = self.greq
+            galpha = self.galpha
+            gest = self.gest
+            gsafe_fail = self.gsafe_fail
+            failed_at = self.failed_at
+            explicit_guard = self.explicit_guard
+            mixed_threshold = self.mixed_threshold
+            beta = self.beta
+            max_reduced = self.max_reduced
+            gc_ver = self.gc_ver
+            gc_val = self.gc_val
+            gc_vidx = self.gc_vidx
+            gc_preq = self.gc_preq
+            gc_pidx = self.gc_pidx
+
+        seq = self.seq
+        n_attempts = self.n_attempts
+        n_resource_failures = self.n_resource_failures
+        n_spurious = self.n_spurious
+        n_reduced = self.n_reduced
+        useful = self.useful
+        wasted = self.wasted
+        t_last_end = self.t_last_end
+
+        i_next = 0
+        n = trace.n
+        t_next = submit[0] if n else _inf
+        while True:
+            if heap and (i_next >= n or heap[0][0] <= t_next):
+                # ---- completion: step(), inlined
+                (now, _kind, _seq, i, attempt, requirement, enqueue_time,
+                 start, granted, counts, succeeded,
+                 resource_related) = heappop(heap)
+                for j, take in counts:
+                    free[j] += take
+                procs = c_procs[i]
+                node_seconds = (now - start) * procs
+                reduced = requirement < c_req_mem[i]
+                if collect:
+                    raw_attempts.append(
+                        (c_job_id[i], attempt, enqueue_time, start, now,
+                         procs, requirement, granted, succeeded,
+                         resource_related, reduced,
+                         tuple(sorted(
+                             (levels[j], take) for j, take in counts
+                         )))
+                    )
+                if now > t_last_end:
+                    t_last_end = now
+                if not mode_none:
+                    # ---- _observe, inlined
+                    g = gid[i]
+                    job_id = c_job_id[i]
+                    gver[g] += 1
+                    if gprobe[g] == (job_id, attempt):
+                        gprobe[g] = None
+                    guard = explicit_guard and granted >= c_used_mem[i]
+                    if succeeded:
+                        failed_at.pop(job_id, None)
+                    elif not guard:
+                        prev = failed_at.get(job_id, 0.0)
+                        failed_at[job_id] = (
+                            prev if prev >= requirement else requirement
+                        )
+                    if attempt < max_reduced:
+                        if succeeded:
+                            last_safe = glast_safe[g]
+                            safe_value = (
+                                greq[g] if last_safe is None else last_safe
+                            )
+                            if requirement <= safe_value:
+                                glast_safe[g] = requirement
+                                gsafe_fail[g] = 0
+                            gest[g] = requirement / galpha[g]
+                        elif not guard:
+                            last_safe = glast_safe[g]
+                            safe_value = (
+                                greq[g] if last_safe is None else last_safe
+                            )
+                            if mixed_threshold and requirement >= safe_value:
+                                gsafe_fail[g] += 1
+                                if gsafe_fail[g] >= mixed_threshold:
+                                    bump = safe_value * one_plus
+                                    bidx = memo_get(bump)
+                                    if bidx is None:
+                                        memo[bump] = bidx = bisect(
+                                            levels, bump
+                                        )
+                                    request = greq[g]
+                                    above = (
+                                        levels[bidx] if bidx < nlev
+                                        else request
+                                    )
+                                    glast_safe[g] = (
+                                        above if above < request else request
+                                    )
+                                    gsafe_fail[g] = 0
+                            alpha = galpha[g] * beta
+                            galpha[g] = alpha if alpha >= 1.0 else 1.0
+                            last_safe = glast_safe[g]
+                            safe_value = (
+                                greq[g] if last_safe is None else last_safe
+                            )
+                            gest[g] = safe_value / galpha[g]
+                if succeeded:
+                    completed[i] = True
+                    final_start[i] = start
+                    final_end[i] = now
+                    final_req[i] = requirement
+                    final_granted[i] = granted
+                    final_reduced[i] = reduced
+                    useful += node_seconds
+                else:
+                    if resource_related:
+                        n_resfail[i] += 1
+                        n_resource_failures += 1
+                    else:
+                        n_spurious += 1
+                    wasted_job[i] += node_seconds
+                    wasted += node_seconds
+                    requeue(now, i, attempt + 1)
+                # ---- _sched_fcfs, inlined (capacity was freed; a failed
+                # job may have re-entered at the head)
+                while queue:
+                    head = queue[0]
+                    i = head[0]
+                    if refresh:
+                        g = gid[i]
+                        version = gver[g]
+                        if version != head[4]:
+                            head[4] = version
+                            if cache_on and head[1] == 0:
+                                if gc_ver[g] != version:
+                                    refill(g)
+                                preq = gc_preq[g]
+                                if preq < 0.0:
+                                    refreshed = gc_val[g]
+                                    ridx = gc_vidx[g]
+                                else:
+                                    ticket = (c_job_id[i], 0)
+                                    probe = gprobe[g]
+                                    if probe is None or probe == ticket:
+                                        gprobe[g] = ticket
+                                        refreshed = gc_val[g]
+                                        ridx = gc_vidx[g]
+                                    else:
+                                        refreshed = preq
+                                        ridx = gc_pidx[g]
+                            else:
+                                refreshed = estimate(i, head[1])
+                                ridx = idx_of(refreshed)
+                            if refreshed != head[2] and (
+                                total_suffix[ridx] >= c_procs[i]
+                            ):
+                                head[2] = refreshed
+                                head[5] = ridx
+                    procs = c_procs[i]
+                    idx = head[5]
+                    eligible = fill[idx]
+                    available = 0
+                    for j in eligible:
+                        available += free[j]
+                    if available < procs:  # Fcfs.select returned None
+                        break
+                    queue.popleft()
+                    counts = []
+                    remaining = procs
+                    min_j = nlev
+                    for j in eligible:
+                        take = free[j]
+                        if take > 0:
+                            if j < min_j:
+                                min_j = j
+                            if take > remaining:
+                                take = remaining
+                            counts.append((j, take))
+                            free[j] -= take
+                            remaining -= take
+                            if remaining == 0:
+                                break
+                    granted = levels[min_j]
+                    run_time = c_run_time[i]
+                    if granted < c_used_mem[i]:
+                        succeeded = False
+                        duration = float(uniform(0.0, run_time))
+                        resource_related = True
+                    elif spurious > 0.0 and random() < spurious:
+                        succeeded = False
+                        duration = float(uniform(0.0, run_time))
+                        resource_related = False
+                    else:
+                        succeeded = True
+                        duration = run_time
+                        resource_related = False
+                    end_time = now + duration
+                    if not isfinite(end_time):
+                        raise ValueError(
+                            f"event time must be finite, got {end_time!r}"
+                        )
+                    n_att[i] += 1
+                    n_attempts += 1
+                    if head[2] < c_req_mem[i]:
+                        n_reduced += 1
+                    heappush(
+                        heap,
+                        (end_time, 0, seq, i, head[1], head[2], head[3],
+                         now, granted, counts, succeeded, resource_related),
+                    )
+                    seq += 1
+            elif i_next < n:
+                # ---- arrival: feed_arrival, inlined (FCFS never
+                # tail-wakes, so the pass runs only on empty-queue appends)
+                now = t_next
+                i = i_next
+                if mode_none:
+                    requirement = c_req_mem[i]
+                    version = -1
+                    ridx = row_req_idx[i]
+                elif cache_on:
+                    g = gid[i]
+                    version = gver[g]
+                    if gc_ver[g] != version:
+                        refill(g)
+                    preq = gc_preq[g]
+                    if preq < 0.0:
+                        requirement = gc_val[g]
+                        ridx = gc_vidx[g]
+                    else:
+                        ticket = (c_job_id[i], 0)
+                        probe = gprobe[g]
+                        if probe is None or probe == ticket:
+                            gprobe[g] = ticket
+                            requirement = gc_val[g]
+                            ridx = gc_vidx[g]
+                        else:
+                            requirement = preq
+                            ridx = gc_pidx[g]
+                else:
+                    requirement = estimate(i, 0)
+                    version = gver[gid[i]]
+                    ridx = idx_of(requirement)
+                if total_suffix[ridx] < c_procs[i]:
+                    rejected.append(i)
+                    dead[i] = True
+                elif queue:
+                    queue.append([i, 0, requirement, now, version, ridx])
+                else:
+                    # Empty-queue append: the new entry is the head and the
+                    # pass degenerates to one start attempt (its version is
+                    # fresh, so the refresh is a no-op; if it starts, the
+                    # queue is empty again and the pass ends).
+                    procs = c_procs[i]
+                    eligible = fill[ridx]
+                    available = 0
+                    for j in eligible:
+                        available += free[j]
+                    if available < procs:
+                        queue.append(
+                            [i, 0, requirement, now, version, ridx]
+                        )
+                    else:
+                        counts = []
+                        remaining = procs
+                        min_j = nlev
+                        for j in eligible:
+                            take = free[j]
+                            if take > 0:
+                                if j < min_j:
+                                    min_j = j
+                                if take > remaining:
+                                    take = remaining
+                                counts.append((j, take))
+                                free[j] -= take
+                                remaining -= take
+                                if remaining == 0:
+                                    break
+                        granted = levels[min_j]
+                        run_time = c_run_time[i]
+                        if granted < c_used_mem[i]:
+                            succeeded = False
+                            duration = float(uniform(0.0, run_time))
+                            resource_related = True
+                        elif spurious > 0.0 and random() < spurious:
+                            succeeded = False
+                            duration = float(uniform(0.0, run_time))
+                            resource_related = False
+                        else:
+                            succeeded = True
+                            duration = run_time
+                            resource_related = False
+                        end_time = now + duration
+                        if not isfinite(end_time):
+                            raise ValueError(
+                                f"event time must be finite, got {end_time!r}"
+                            )
+                        n_att[i] += 1
+                        n_attempts += 1
+                        if requirement < c_req_mem[i]:
+                            n_reduced += 1
+                        heappush(
+                            heap,
+                            (end_time, 0, seq, i, 0, requirement, now,
+                             now, granted, counts, succeeded,
+                             resource_related),
+                        )
+                        seq += 1
+                i_next += 1
+                t_next = submit[i_next] if i_next < n else _inf
+            else:
+                break
+
+        self.seq = seq
+        self.n_attempts = n_attempts
+        self.n_resource_failures = n_resource_failures
+        self.n_spurious = n_spurious
+        self.n_reduced = n_reduced
+        self.useful = useful
+        self.wasted = wasted
+        self.t_last_end = t_last_end
 
     # --------------------------------------------------------------- result
     def finish(self) -> SimResult:
@@ -575,28 +1491,35 @@ class _FastLane:
         trace = self.trace
         jobs = trace.jobs()  # materialized off the hot path, once per batch
         summaries: List[JobSummary] = []
+        append = summaries.append
+        make = JobSummary._make  # tuple.__new__ directly, no kwargs wrapper
+        submit = trace.submit
+        dead = self.dead
+        final_start = self.final_start
+        final_end = self.final_end
+        n_att = self.n_att
+        n_resfail = self.n_resfail
+        completed = self.completed
+        final_req = self.final_req
+        final_granted = self.final_granted
+        final_reduced = self.final_reduced
+        wasted_job = self.wasted_job
         for i in range(trace.n):
-            if self.dead[i]:
+            if dead[i]:
                 continue
-            if self.final_end[i] is None:
+            end = final_end[i]
+            if end is None:
                 raise RuntimeError(
                     f"job {trace.job_id[i]} finished the trace incomplete"
                 )
-            summaries.append(
-                JobSummary(
-                    job=jobs[i],
-                    first_submit=trace.submit[i],
-                    start_time=self.final_start[i],
-                    end_time=self.final_end[i],
-                    n_attempts=self.n_att[i],
-                    n_resource_failures=self.n_resfail[i],
-                    completed=self.completed[i],
-                    final_requirement=self.final_req[i],
-                    final_granted=self.final_granted[i],
-                    reduced=self.final_reduced[i],
-                    wasted_node_seconds=self.wasted_job[i],
-                )
-            )
+            # Positional JobSummary fields: job, first_submit, start_time,
+            # end_time, n_attempts, n_resource_failures, completed,
+            # final_requirement, final_granted, reduced, wasted_node_seconds.
+            append(make((
+                jobs[i], submit[i], final_start[i], end, n_att[i],
+                n_resfail[i], completed[i], final_req[i], final_granted[i],
+                final_reduced[i], wasted_job[i],
+            )))
         # Rows are sorted by (submit_time, job_id) — the workload's invariant
         # — so the summary order already matches the scalar engine's sort.
         attempts = [AttemptRecord._make(raw) for raw in self.raw_attempts]
@@ -604,7 +1527,7 @@ class _FastLane:
             workload_name=trace.workload.name,
             cluster_name=self.cluster.name,
             estimator_name=self.est.name,
-            policy_name="fcfs",
+            policy_name=self.policy_name,
             total_nodes=self.cluster.total_nodes,
             attempts=attempts,
             summaries=summaries,
@@ -627,7 +1550,7 @@ class _FastLane:
 class _EngineLane:
     """Generic lane: a scalar Simulation driven through its streaming API."""
 
-    __slots__ = ("sim", "jobs", "heap", "_stream_arrival", "_step")
+    __slots__ = ("sim", "jobs", "submit", "heap", "_stream_arrival", "_step")
 
     def __init__(
         self,
@@ -659,21 +1582,32 @@ class _EngineLane:
         )
         self.sim = sim
         self.jobs = trace.jobs()
+        self.submit = trace.submit
         first_submit = trace.submit[0] if trace.n else _inf
         sim.begin_stream(trace.n, first_submit)
         self.heap = sim._events.raw_heap
         self._stream_arrival = sim.stream_arrival
         self._step = sim.step_internal
 
-    def feed_arrival(self, now: float, i: int) -> None:
-        self._stream_arrival(now, self.jobs[i])
+    def run(self) -> None:
+        """Replay the whole trace: the scalar run loop, arrivals streamed.
 
-    def step(self) -> None:
-        self._step()
-
-    def drain(self) -> None:
+        Engine-lane heaps carry faults/repairs too, so the full
+        ``(time, kind)`` tie-break against ``EventKind.ARRIVAL`` applies.
+        """
         heap = self.heap
         step = self._step
+        feed = self._stream_arrival
+        jobs = self.jobs
+        for i, t in enumerate(self.submit):
+            while heap:
+                entry = heap[0]
+                et = entry[0]
+                if et < t or (et == t and entry[1] < _ARRIVAL_KIND):
+                    step()
+                else:
+                    break
+            feed(t, jobs[i])
         while heap:
             step()
 
@@ -684,19 +1618,23 @@ class _EngineLane:
 def fast_lane_eligible(config: BatchConfig) -> bool:
     """Whether a config runs on the array fast lane (vs the engine lane).
 
-    The fast lane covers the paper's hot configuration: FCFS, best-fit
-    cluster, no-estimation or default-keyed successive approximation without
-    trajectory recording, optional spurious failures — no fault injection,
-    observer, or timeline.  Exact-type checks, so subclasses with overridden
-    behavior fall back to the (always-correct) engine lane.
+    The fast lane covers the sweep grids' hot configurations: FCFS,
+    shortest-job-first or EASY backfilling over a best-fit or first-fit
+    cluster, no-estimation or default-keyed successive approximation
+    without trajectory recording, optional spurious failures — no fault
+    injection, observer, or timeline.  Exact-type checks, so subclasses
+    with overridden behavior fall back to the (always-correct) engine lane.
     """
     if config.record_timeline or config.observer is not None:
         return False
     if config.fault_config is not None and config.fault_config.enabled:
         return False
-    if config.policy is not None and type(config.policy) is not Fcfs:
+    policy = config.policy
+    if policy is not None and type(policy) not in (
+        Fcfs, ShortestJobFirst, EasyBackfilling
+    ):
         return False
-    if config.cluster.strategy != "best_fit":
+    if config.cluster.strategy not in _FAST_STRATEGIES:
         return False
     estimator = config.estimator
     if estimator is None or type(estimator) is NoEstimation:
@@ -729,15 +1667,33 @@ def simulate_batch(
     """Run K configurations over one shared workload in lock-step.
 
     Results are returned in config order; each is bit-identical to
-    :func:`repro.sim.engine.simulate` run with the same parameters.  Engine
-    lanes mutate their cluster (reset + allocate); when several such lanes
-    share one ``Cluster`` instance (e.g. via the memoized
-    ``ClusterSpec.materialize``), clones are substituted so the lanes cannot
-    corrupt each other.  Fast lanes only read the cluster's inventory.
+    :func:`repro.sim.engine.simulate` run with the same parameters.
+    ``collect_attempts`` applies to every lane unless a config carries its
+    own override (``BatchConfig.collect_attempts``).  A config may also
+    carry its own ``workload`` — lanes share no mutable state, so stacking
+    e.g. several load-scaled variants of one base trace into a single batch
+    is safe; lanes on the same workload object share one decoded trace.
+    Engine lanes mutate their cluster (reset + allocate); when several such
+    lanes share one ``Cluster`` instance (e.g. via the memoized
+    ``ClusterSpec.materialize``), clones are substituted so the lanes
+    cannot corrupt each other.  Fast lanes only read the cluster's
+    inventory.
     """
     if not configs:
         return []
-    trace = _SharedTrace(workload)
+    traces: Dict[int, _SharedTrace] = {}
+
+    def _trace_for(w: Workload) -> _SharedTrace:
+        shared = traces.get(id(w))
+        if shared is None:
+            traces[id(w)] = shared = _SharedTrace(w)
+        return shared
+
+    trace = _trace_for(workload)
+    lane_traces = [
+        _trace_for(config.workload) if config.workload is not None else trace
+        for config in configs
+    ]
 
     fast_successive: List[int] = []
     kinds: List[bool] = []
@@ -749,27 +1705,56 @@ def simulate_batch(
         ):
             fast_successive.append(len(kinds) - 1)
 
-    # Vectorized (K, n_groups) seed for every successive fast lane at once.
-    group_seeds: Dict[int, Tuple[np.ndarray, np.ndarray, List[float]]] = {}
-    if fast_successive:
+    # Vectorized (K, n_groups) seed for every successive fast lane at once:
+    # per shared trace, the group-state matrices plus, per distinct capacity
+    # ladder, the masked arrival-estimate kernel over the lanes on that
+    # ladder.
+    group_seeds: Dict[int, tuple] = {}
+    by_trace: Dict[int, List[int]] = {}
+    for k in fast_successive:
+        by_trace.setdefault(id(lane_traces[k]), []).append(k)
+    for trace_lanes in by_trace.values():
+        lane_trace = lane_traces[trace_lanes[0]]
         est_mat, alpha_mat, group_req = seed_group_arrays(
-            trace, [configs[k].estimator.alpha for k in fast_successive]
+            lane_trace, [configs[k].estimator.alpha for k in trace_lanes]
         )
         greq_list = group_req.tolist()
-        for row, k in enumerate(fast_successive):
-            group_seeds[k] = (est_mat[row], alpha_mat[row], greq_list)
+        by_ladder: Dict[tuple, List[Tuple[int, int]]] = {}
+        for row, k in enumerate(trace_lanes):
+            levels = configs[k].cluster.ladder.levels
+            by_ladder.setdefault(levels, []).append((row, k))
+        for levels, members in by_ladder.items():
+            rows = [row for row, _ in members]
+            probing = [
+                configs[k].estimator.serial_probing for _, k in members
+            ]
+            val, vidx, preq, pidx = seed_arrival_caches(
+                est_mat[rows], group_req, levels, probing
+            )
+            for out_row, (row, k) in enumerate(members):
+                group_seeds[k] = (
+                    est_mat[row], alpha_mat[row], greq_list,
+                    val[out_row], vidx[out_row],
+                    preq[out_row], pidx[out_row],
+                )
 
     lanes = []
     live_clusters: set = set()
     for k, config in enumerate(configs):
+        lane_collect = (
+            collect_attempts
+            if config.collect_attempts is None
+            else config.collect_attempts
+        )
         estimator = config.estimator
         if kinds[k]:
             lanes.append(
                 _FastLane(
-                    trace,
+                    lane_traces[k],
                     config,
                     estimator if estimator is not None else NoEstimation(),
-                    collect_attempts,
+                    config.policy if config.policy is not None else Fcfs(),
+                    lane_collect,
                     group_seeds.get(k),
                 )
             )
@@ -784,38 +1769,23 @@ def simulate_batch(
                     fault_config=config.fault_config,
                     record_timeline=config.record_timeline,
                     observer=config.observer,
+                    collect_attempts=config.collect_attempts,
+                    workload=config.workload,
                 )
             live_clusters.add(id(config.cluster))
             lanes.append(
                 _EngineLane(
-                    trace, config, config.estimator, config.policy,
-                    collect_attempts,
+                    lane_traces[k], config, config.estimator, config.policy,
+                    lane_collect,
                 )
             )
 
-    # Merged frontier: shared arrival cursor + per-lane internal-event
-    # heaps.  Lanes share no state, so only the *per-lane* interleaving of
-    # arrivals and internal events must match the scalar heap's order:
-    # before an arrival reaches a lane, the lane drains every internal
-    # event whose (time, kind) sorts before (t_arrival, ARRIVAL) — the
-    # scalar tie-break (same-instant completions/repairs fire first,
-    # node failures after the arrival).  O(1) amortized per event, so the
-    # driver stays linear in K.
-    submit = trace.submit
-    n = trace.n
-    hot = [(lane.heap, lane.step, lane.feed_arrival) for lane in lanes]
-    for i in range(n):
-        t_arrival = submit[i]
-        for heap, step, feed in hot:
-            while heap:
-                entry = heap[0]
-                t = entry[0]
-                if t < t_arrival or (t == t_arrival and entry[1] < _ARRIVAL_KIND):
-                    step()
-                else:
-                    break
-            feed(t_arrival, i)
-    # Past the last arrival the lanes share nothing: drain independently.
+    # Lanes share no mutable state, so replaying each lane's event sequence
+    # in turn is observationally identical to advancing all lanes behind a
+    # merged frontier — and skips the per-event cross-lane dispatch that
+    # frontier paid.  Each lane's own loop enforces the scalar per-lane
+    # event order (internal events before same-instant arrivals iff their
+    # kind sorts first).
     for lane in lanes:
-        lane.drain()
+        lane.run()
     return [lane.finish() for lane in lanes]

@@ -1,9 +1,10 @@
 """Lock-step batching inside the sweep executor.
 
 Covers the ``run_sweep(batch_size=...)`` plumbing around
-:func:`repro.sim.batch.simulate_batch`: same-trace grouping, point-for-point
-parity with unbatched execution, the width-resolution chain
-(``set_default_batch_size`` > ``$REPRO_BATCH_SIZE`` > built-in 4), profile
+:func:`repro.sim.batch.simulate_batch`: base-trace grouping (load points
+stack via per-lane workload overrides), point-for-point parity with
+unbatched execution, the width-resolution chain
+(``set_default_batch_size`` > ``$REPRO_BATCH_SIZE`` > built-in 16), profile
 surfacing, and the per-spec fallback when a batch member fails.
 """
 
@@ -13,6 +14,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     SweepError,
     _same_workload_batches,
+    _spec_batch_config,
     default_batch_size,
     execute_batch,
     run_sweep,
@@ -51,22 +53,79 @@ def _reset_batch_override():
 
 
 class TestBatchGrouping:
-    def test_groups_by_full_workload_spec(self):
+    def test_groups_by_base_trace_across_loads(self):
         specs = grid_specs()
         batches = _same_workload_batches(specs, batch_size=4)
-        # 4 specs over 2 loads: one batch of two per load, spec order kept.
-        assert sorted(len(b) for b in batches) == [2, 2]
-        for batch in batches:
-            workloads = {specs[i].workload for i in batch}
-            assert len(workloads) == 1
-            assert batch == sorted(batch)
-        assert sorted(i for b in batches for i in b) == [0, 1, 2, 3]
+        # 4 specs over 2 loads of one base trace: load scaling only rewrites
+        # arrival times, so the whole estimator x load grid is one batch —
+        # ordered with same-load specs adjacent (one decode per load point).
+        assert batches == [[0, 2, 1, 3]]
+        base_keys = {spec.workload.base_key() for spec in specs}
+        assert len(base_keys) == 1
+
+    def test_interleaved_grid_stacks_full_width(self):
+        # Two distinct base traces (different seeds) interleaved by an
+        # estimator outer loop: grouping must reassemble full-width batches
+        # instead of chunking the submission order into mixed fragments.
+        def spec(name, seed):
+            return RunSpec(
+                workload=WorkloadSpec(n_jobs=CFG.n_jobs, seed=seed, load=0.8),
+                cluster=ClusterSpec(second_tier_mem=CFG.second_tier_mem),
+                estimator=EstimatorSpec(name=name),
+                seed=CFG.seed,
+                label=f"{name}@{seed}",
+            )
+
+        specs = [
+            spec(name, seed)
+            for name in ("none", "successive")
+            for seed in (1, 2)
+        ]
+        batches = _same_workload_batches(specs, batch_size=4)
+        assert batches == [[0, 2], [1, 3]]
 
     def test_chunks_to_batch_size(self):
         specs = grid_specs(estimators=("none", "successive", "oracle"),
                            loads=(0.8,))
         batches = _same_workload_batches(specs, batch_size=2)
         assert sorted(len(b) for b in batches) == [1, 2]
+
+    def test_deep_stack_rides_one_frontier_serially(self):
+        # Eight configs over one trace, serial executor: width grows to the
+        # stack depth instead of chunking at a fixed 4.
+        specs = grid_specs(
+            estimators=("none", "successive", "oracle", "last-instance"),
+            loads=CFG.loads,
+        )
+        batches = _same_workload_batches(specs, batch_size=16)
+        assert [len(b) for b in batches] == [8]
+
+    def test_deep_stack_splits_to_keep_pool_busy(self):
+        # Same stack, four workers, one group: the group splits into four
+        # balanced units so batching does not starve the pool.
+        specs = grid_specs(
+            estimators=("none", "successive", "oracle", "last-instance"),
+            loads=CFG.loads,
+        )
+        batches = _same_workload_batches(specs, batch_size=16, workers=4)
+        assert [len(b) for b in batches] == [2, 2, 2, 2]
+
+    def test_enough_groups_keep_full_depth_under_pool(self):
+        # With at least as many groups as workers there is no reason to
+        # split: each group stays one full-depth unit.
+        specs = [
+            RunSpec(
+                workload=WorkloadSpec(n_jobs=CFG.n_jobs, seed=seed, load=0.8),
+                cluster=ClusterSpec(second_tier_mem=CFG.second_tier_mem),
+                estimator=EstimatorSpec(name=name),
+                seed=CFG.seed,
+                label=f"{name}@{seed}",
+            )
+            for seed in (1, 2, 3, 4)
+            for name in ("none", "successive")
+        ]
+        batches = _same_workload_batches(specs, batch_size=16, workers=4)
+        assert [len(b) for b in batches] == [2, 2, 2, 2]
 
     def test_batch_size_one_disables_grouping(self):
         specs = grid_specs()
@@ -77,7 +136,7 @@ class TestBatchGrouping:
 class TestWidthResolution:
     def test_builtin_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
-        assert default_batch_size() == 4
+        assert default_batch_size() == 16
 
     def test_env_variable_wins_over_builtin(self, monkeypatch):
         monkeypatch.setenv("REPRO_BATCH_SIZE", "2")
@@ -88,7 +147,7 @@ class TestWidthResolution:
             monkeypatch.setenv("REPRO_BATCH_SIZE", bad)
             with caplog.at_level("WARNING", logger="repro.sweep"):
                 caplog.clear()
-                assert default_batch_size() == 4
+                assert default_batch_size() == 16
             assert any("REPRO_BATCH_SIZE" in r.message for r in caplog.records)
 
     def test_override_wins_over_env_and_restores(self, monkeypatch):
@@ -111,11 +170,12 @@ class TestBatchedSweepParity:
         batched = run_sweep(specs, max_workers=1, batch_size=4)
         assert batched.points() == unbatched.points()
         # The batched report knows it batched; the unbatched one does not.
+        # Both load points stack into one lock-step batch of four.
         assert all(o.batch_width == 1 for o in unbatched.outcomes)
-        assert all(o.batch_width == 2 for o in batched.outcomes)
+        assert all(o.batch_width == 4 for o in batched.outcomes)
         profile = batched.profile()
         assert profile.n_batched == len(specs)
-        assert profile.mean_batch_width == pytest.approx(2.0)
+        assert profile.mean_batch_width == pytest.approx(4.0)
         assert "lock-step batches" in profile.format_report()
 
     def test_batched_pool_sweep_matches_unbatched(self):
@@ -159,3 +219,52 @@ class TestBatchedSweepParity:
         assert len(outcomes) == 1
         assert outcomes[0].ok
         assert outcomes[0].batch_width == 1
+
+
+class TestAttemptCollection:
+    def test_default_spec_canonicalizes_without_the_field(self):
+        # Back-compat: pre-existing cache keys and recorded canonical docs
+        # must not change for specs that never asked for attempts.
+        spec = grid_specs(estimators=("none",), loads=(0.8,))[0]
+        assert "collect_attempts" not in spec.canonical()
+        collecting = RunSpec(
+            workload=spec.workload,
+            cluster=spec.cluster,
+            estimator=spec.estimator,
+            seed=spec.seed,
+            collect_attempts=True,
+        )
+        assert collecting.canonical()["collect_attempts"] is True
+        assert collecting.cache_key() != spec.cache_key()
+
+    def test_lane_config_honors_per_spec_attempts(self):
+        # ``execute_batch`` runs simulate_batch with a batch-wide False;
+        # only specs that opted in carry a per-lane True override.
+        spec = grid_specs(estimators=("none",), loads=(0.8,))[0]
+        assert _spec_batch_config(spec).collect_attempts is None
+        collecting = RunSpec(
+            workload=spec.workload,
+            cluster=spec.cluster,
+            estimator=spec.estimator,
+            seed=spec.seed,
+            collect_attempts=True,
+        )
+        assert _spec_batch_config(collecting).collect_attempts is True
+
+    def test_mixed_collection_batch_executes_together(self):
+        # A mixed batch: one lane wants the per-attempt trace, its
+        # batch-mates do not.  The collecting spec stays in the lock-step
+        # group (per-lane override) instead of being routed to per-spec
+        # execution; attempt parity itself is gated in tests/sim/test_batch.
+        specs = grid_specs(estimators=("none", "successive"), loads=(0.8,))
+        collecting = RunSpec(
+            workload=specs[0].workload,
+            cluster=specs[0].cluster,
+            estimator=EstimatorSpec(name="successive"),
+            seed=CFG.seed,
+            label="collector",
+            collect_attempts=True,
+        )
+        outcomes = execute_batch(specs + [collecting])
+        assert all(o.ok for o in outcomes)
+        assert all(o.batch_width == 3 for o in outcomes)

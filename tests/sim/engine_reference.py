@@ -45,6 +45,7 @@ class SliceSpec:
     spurious: float = 0.0
     faults: bool = False
     timeline: bool = False
+    strategy: str = "best_fit"
 
 
 #: The reference matrix: FCFS/SJF/backfilling x estimation on/off at the
@@ -62,6 +63,14 @@ REFERENCE_SLICES: Dict[str, SliceSpec] = {
     "faults-fcfs-none": SliceSpec("fcfs", "none", 0.8, spurious=0.001, faults=True),
     "faults-fcfs-successive": SliceSpec(
         "fcfs", "successive", 0.8, spurious=0.001, faults=True
+    ),
+    # First-fit allocation: pins the widened fast lane's second cluster
+    # strategy against the scalar engine on both policies' hot paths.
+    "fig5-fcfs-successive-firstfit": SliceSpec(
+        "fcfs", "successive", 0.8, strategy="first_fit"
+    ),
+    "fig5-sjf-successive-firstfit": SliceSpec(
+        "sjf", "successive", 0.8, strategy="first_fit"
     ),
 }
 
@@ -96,7 +105,7 @@ def run_slice(spec: SliceSpec, observer=None) -> SimResult:
         injector = NodeFaultInjector(_FAULT_CONFIG, rng=fault_rng(spec.seed))
     return Simulation(
         workload=slice_workload(spec),
-        cluster=paper_cluster(24.0),
+        cluster=paper_cluster(24.0, strategy=spec.strategy),
         estimator=_ESTIMATORS[spec.estimator](),
         policy=_POLICIES[spec.policy](),
         failure_model=FailureModel(
@@ -115,7 +124,7 @@ def slice_batch_config(spec: SliceSpec, observer=None):
     from repro.sim.batch import BatchConfig
 
     return BatchConfig(
-        cluster=paper_cluster(24.0),
+        cluster=paper_cluster(24.0, strategy=spec.strategy),
         estimator=_ESTIMATORS[spec.estimator](),
         policy=_POLICIES[spec.policy](),
         seed=spec.seed,

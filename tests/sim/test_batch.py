@@ -165,6 +165,114 @@ def test_collect_attempts_off_matches_scalar(workload):
     )
 
 
+@pytest.mark.parametrize("policy_factory", [ShortestJobFirst, EasyBackfilling])
+@pytest.mark.parametrize("k", [1, 2, 4, 8])
+def test_widened_policy_lanes_match_scalar(workload, policy_factory, k):
+    """SJF/backfilling lanes (fast since PR 10) at K=1..8 with diverging
+    alphas — each bit-identical to its scalar twin, attempts collected."""
+    alphas = [2.0, 1.5, 2.5, 3.0, 1.75, 2.25, 2.75, 4.0][:k]
+    configs = [
+        BatchConfig(
+            cluster=paper_cluster(24.0),
+            estimator=SuccessiveApproximation(alpha=alpha),
+            policy=policy_factory(),
+        )
+        for alpha in alphas
+    ]
+    results = simulate_batch(workload, configs)
+    for alpha, result in zip(alphas, results):
+        assert result.fingerprint() == scalar_fingerprint(
+            workload,
+            estimator=SuccessiveApproximation(alpha=alpha),
+            policy=policy_factory(),
+        ), f"alpha={alpha} {policy_factory.__name__} lane diverged at K={k}"
+
+
+@pytest.mark.parametrize(
+    "estimator_factory", [NoEstimation, SuccessiveApproximation]
+)
+def test_first_fit_lanes_match_scalar(workload, estimator_factory):
+    """first_fit clusters ride the fast lane via the tabulated fill order
+    (declaration order filtered to eligible levels)."""
+    def cluster():
+        return paper_cluster(24.0, strategy="first_fit")
+
+    configs = [
+        BatchConfig(cluster=cluster(), estimator=estimator_factory()),
+        BatchConfig(
+            cluster=cluster(),
+            estimator=estimator_factory(),
+            policy=EasyBackfilling(),
+        ),
+    ]
+    results = simulate_batch(workload, configs)
+    assert results[0].fingerprint() == simulate(
+        workload, cluster(), estimator=estimator_factory()
+    ).fingerprint()
+    assert results[1].fingerprint() == simulate(
+        workload, cluster(), estimator=estimator_factory(),
+        policy=EasyBackfilling(),
+    ).fingerprint()
+
+
+def test_per_lane_collect_attempts_override(workload):
+    """A lane-level ``BatchConfig.collect_attempts`` wins over the
+    batch-wide flag in both directions, without perturbing results."""
+    configs = [
+        BatchConfig(
+            cluster=paper_cluster(24.0),
+            estimator=SuccessiveApproximation(),
+            collect_attempts=True,
+        ),
+        BatchConfig(
+            cluster=paper_cluster(24.0),
+            estimator=SuccessiveApproximation(),
+            policy=ShortestJobFirst(),
+            collect_attempts=False,
+        ),
+        BatchConfig(
+            cluster=paper_cluster(24.0),
+            estimator=SuccessiveApproximation(),
+        ),
+    ]
+    results = simulate_batch(workload, configs, collect_attempts=False)
+    assert results[0].attempts != []
+    assert results[1].attempts == []
+    assert results[2].attempts == []  # inherits the batch-wide False
+    assert results[0].fingerprint() == scalar_fingerprint(
+        workload, estimator=SuccessiveApproximation()
+    )
+    assert results[1].fingerprint() == scalar_fingerprint(
+        workload,
+        collect_attempts=False,
+        estimator=SuccessiveApproximation(),
+        policy=ShortestJobFirst(),
+    )
+
+
+def test_mixed_fast_and_engine_lanes_coexist(workload):
+    """One batch spanning both lane kinds — widened fast configs (SJF,
+    backfilling, first_fit) next to engine-lane configs (oracle estimator,
+    worst_fit) — every lane bit-identical to scalar."""
+    cases = [
+        dict(estimator=SuccessiveApproximation(), policy=ShortestJobFirst()),
+        dict(estimator=OracleEstimator()),  # engine lane
+        dict(estimator=SuccessiveApproximation(), policy=EasyBackfilling()),
+        dict(estimator=LastInstance(), policy=EasyBackfilling()),  # engine
+    ]
+    configs = [
+        BatchConfig(cluster=paper_cluster(24.0), **case) for case in cases
+    ]
+    results = simulate_batch(workload, configs)
+    for case, result in zip(cases, results):
+        expected = scalar_fingerprint(
+            workload,
+            estimator=type(case["estimator"])(),
+            **({"policy": type(case["policy"])()} if "policy" in case else {}),
+        )
+        assert result.fingerprint() == expected, f"{case} diverged"
+
+
 def test_engine_lanes_sharing_one_cluster_are_cloned(workload):
     """Engine lanes mutate their cluster, so lanes handed the *same*
     instance (the memoized ``ClusterSpec.materialize`` does this) must be
@@ -173,15 +281,15 @@ def test_engine_lanes_sharing_one_cluster_are_cloned(workload):
     configs = [
         BatchConfig(
             cluster=shared,
-            estimator=SuccessiveApproximation(),
-            policy=ShortestJobFirst(),  # forces the engine lane
+            estimator=OracleEstimator(),  # forces the engine lane
+            policy=ShortestJobFirst(),
         )
         for _ in range(2)
     ]
     results = simulate_batch(workload, configs)
     expected = scalar_fingerprint(
         workload,
-        estimator=SuccessiveApproximation(),
+        estimator=OracleEstimator(),
         policy=ShortestJobFirst(),
     )
     assert results[0].fingerprint() == expected
@@ -200,9 +308,25 @@ def test_fast_lane_routing():
     assert fast_lane_eligible(
         BatchConfig(cluster=cluster, spurious_failure_prob=0.01)
     )
+    # PR 10 widened the lane: SJF, EASY backfilling and first_fit ride it.
+    assert fast_lane_eligible(
+        BatchConfig(cluster=cluster, policy=ShortestJobFirst())
+    )
+    assert fast_lane_eligible(
+        BatchConfig(cluster=cluster, policy=EasyBackfilling())
+    )
+    assert fast_lane_eligible(
+        BatchConfig(
+            cluster=paper_cluster(24.0, strategy="first_fit"),
+            estimator=SuccessiveApproximation(),
+        )
+    )
     # Everything the fast lane does not model must fall to the engine lane.
     assert not fast_lane_eligible(
-        BatchConfig(cluster=cluster, policy=ShortestJobFirst())
+        BatchConfig(cluster=paper_cluster(24.0, strategy="worst_fit"))
+    )
+    assert not fast_lane_eligible(
+        BatchConfig(cluster=cluster, estimator=OracleEstimator())
     )
     assert not fast_lane_eligible(
         BatchConfig(cluster=cluster, record_timeline=True)
